@@ -1,0 +1,46 @@
+// Figure 10: sharing vs stronger scheduler baselines.
+//   (a) register sharing vs Unshared-GTO     (b) scratchpad vs Unshared-GTO
+//   (c) register sharing vs Unshared-TwoLevel (d) scratchpad vs Unshared-TwoLevel
+//
+// The sharing line is the paper's full stack (Shared-OWF-Unroll-Dyn for
+// registers, Shared-OWF for scratchpad); only the *baseline* scheduler
+// changes between the sub-figures.
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "gpu/simulator.h"
+#include "workloads/suites.h"
+
+using namespace grs;
+
+namespace {
+
+void versus(const std::vector<KernelInfo>& kernels, SchedulerKind baseline_sched,
+            const GpuConfig& shared, const char* caption) {
+  TextTable t({"application", "baseline IPC", "shared IPC", "improvement"});
+  for (const KernelInfo& k : kernels) {
+    const double base = simulate(configs::unshared(baseline_sched), k).stats.ipc();
+    const double s = simulate(shared, k).stats.ipc();
+    t.add_row({k.name, TextTable::fmt(base), TextTable::fmt(s),
+               TextTable::pct(percent_improvement(base, s))});
+  }
+  t.print(caption);
+}
+
+}  // namespace
+
+int main() {
+  versus(workloads::set1(), SchedulerKind::kGto,
+         configs::shared_owf_unroll_dyn(Resource::kRegisters),
+         "Fig 10(a): register sharing vs Unshared-GTO");
+  versus(workloads::set2(), SchedulerKind::kGto, configs::shared_owf(Resource::kScratchpad),
+         "Fig 10(b): scratchpad sharing vs Unshared-GTO");
+  versus(workloads::set1(), SchedulerKind::kTwoLevel,
+         configs::shared_owf_unroll_dyn(Resource::kRegisters),
+         "Fig 10(c): register sharing vs Unshared-TwoLevel");
+  versus(workloads::set2(), SchedulerKind::kTwoLevel,
+         configs::shared_owf(Resource::kScratchpad),
+         "Fig 10(d): scratchpad sharing vs Unshared-TwoLevel");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 11: sharing vs a baseline with twice the physical resource.
+//   (a) Shared-OWF-Unroll-Dyn @32K registers vs Unshared-LRR @64K registers
+//   (b) Shared-OWF @16KB scratchpad vs Unshared-LRR @32KB scratchpad
+//
+// The paper's point: sharing recovers a useful fraction of what doubling the
+// physical resource would buy — for free. (Absolute IPC, like the paper's
+// Fig. 11, not % improvement.)
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "gpu/simulator.h"
+#include "workloads/suites.h"
+
+using namespace grs;
+
+int main() {
+  {
+    GpuConfig doubled = configs::unshared();
+    doubled.registers_per_sm = 65536;
+    const GpuConfig shared = configs::shared_owf_unroll_dyn(Resource::kRegisters);
+    TextTable t({"application", "Unshared-LRR-Reg#65536", "Shared-OWF-Unroll-Dyn-Reg#32768"});
+    for (const KernelInfo& k : workloads::set1()) {
+      t.add_row({k.name, TextTable::fmt(simulate(doubled, k).stats.ipc()),
+                 TextTable::fmt(simulate(shared, k).stats.ipc())});
+    }
+    t.print("Fig 11(a): IPC, double registers vs register sharing");
+  }
+  {
+    GpuConfig doubled = configs::unshared();
+    doubled.scratchpad_per_sm = 32 * 1024;
+    const GpuConfig shared = configs::shared_owf(Resource::kScratchpad);
+    TextTable t({"application", "Unshared-LRR-ShMem#32K", "Shared-OWF-ShMem#16K"});
+    for (const KernelInfo& k : workloads::set2()) {
+      t.add_row({k.name, TextTable::fmt(simulate(doubled, k).stats.ipc()),
+                 TextTable::fmt(simulate(shared, k).stats.ipc())});
+    }
+    t.print("Fig 11(b): IPC, double scratchpad vs scratchpad sharing");
+  }
+  return 0;
+}

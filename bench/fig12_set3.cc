@@ -1,0 +1,49 @@
+// Figure 12: Set-3 kernels — limited by threads or blocks, not by a
+// shareable resource. The sharing runtime must leave them untouched:
+//   Shared-LRR(-Unroll-Dyn) == Unshared-LRR   (bit-identical cycle counts)
+//   Shared-GTO(-Unroll-Dyn) == Unshared-GTO
+//   Shared-OWF(-Unroll-Dyn) ~= Unshared-GTO   (OWF over all-unshared warps
+//                                              degenerates to GTO order)
+//   (a) register-sharing runtime enabled   (b) scratchpad-sharing runtime
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "gpu/simulator.h"
+#include "workloads/suites.h"
+
+using namespace grs;
+
+namespace {
+
+void panel(Resource res, bool with_reg_opts, const char* caption) {
+  TextTable t({"application", "Unshared-LRR", "Shared-LRR", "Unshared-GTO", "Shared-GTO",
+               "Shared-OWF"});
+  for (const KernelInfo& k : workloads::set3()) {
+    auto shared_with = [&](SchedulerKind sched) {
+      GpuConfig c = with_reg_opts ? configs::shared_unroll_dyn(res)
+                                  : configs::shared_noopt(res);
+      c.scheduler = sched;
+      return simulate(c, k).stats.ipc();
+    };
+    GpuConfig owf = with_reg_opts ? configs::shared_owf_unroll_dyn(res)
+                                  : configs::shared_owf(res);
+    t.add_row({k.name,
+               TextTable::fmt(simulate(configs::unshared(SchedulerKind::kLrr), k).stats.ipc()),
+               TextTable::fmt(shared_with(SchedulerKind::kLrr)),
+               TextTable::fmt(simulate(configs::unshared(SchedulerKind::kGto), k).stats.ipc()),
+               TextTable::fmt(shared_with(SchedulerKind::kGto)),
+               TextTable::fmt(simulate(owf, k).stats.ipc())});
+  }
+  t.print(caption);
+}
+
+}  // namespace
+
+int main() {
+  panel(Resource::kRegisters, /*with_reg_opts=*/true,
+        "Fig 12(a): Set-3 under the register-sharing runtime");
+  panel(Resource::kScratchpad, /*with_reg_opts=*/false,
+        "Fig 12(b): Set-3 under the scratchpad-sharing runtime");
+  return 0;
+}

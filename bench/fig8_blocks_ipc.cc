@@ -1,0 +1,46 @@
+// Figure 8: the headline result.
+//   (a) resident thread blocks, Unshared-LRR vs Shared-OWF-Unroll-Dyn (Set-1)
+//   (b) resident thread blocks, Unshared-LRR vs Shared-OWF (Set-2)
+//   (c) % IPC improvement of register sharing over Unshared-LRR (Set-1)
+//   (d) % IPC improvement of scratchpad sharing over Unshared-LRR (Set-2)
+//
+// Sharing threshold t = 0.1 (90% sharing), the paper's default.
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "gpu/simulator.h"
+#include "workloads/suites.h"
+
+using namespace grs;
+
+namespace {
+
+void run_set(const std::vector<KernelInfo>& kernels, const GpuConfig& shared_cfg,
+             const char* blocks_caption, const char* ipc_caption) {
+  TextTable blocks({"application", "Unshared-LRR", shared_cfg.line_label().c_str()});
+  TextTable ipc({"application", "baseline IPC", "shared IPC", "improvement"});
+  for (const KernelInfo& k : kernels) {
+    const SimResult base = simulate(configs::unshared(), k);
+    const SimResult shared = simulate(shared_cfg, k);
+    blocks.add_row({k.name, std::to_string(base.occupancy.total_blocks),
+                    std::to_string(shared.occupancy.total_blocks)});
+    ipc.add_row({k.name, TextTable::fmt(base.stats.ipc()),
+                 TextTable::fmt(shared.stats.ipc()),
+                 TextTable::pct(percent_improvement(base.stats.ipc(), shared.stats.ipc()))});
+  }
+  blocks.print(blocks_caption);
+  ipc.print(ipc_caption);
+}
+
+}  // namespace
+
+int main() {
+  run_set(workloads::set1(), configs::shared_owf_unroll_dyn(Resource::kRegisters, 0.1),
+          "Fig 8(a): resident blocks, register sharing",
+          "Fig 8(c): IPC improvement, register sharing (Shared-OWF-Unroll-Dyn)");
+  run_set(workloads::set2(), configs::shared_owf(Resource::kScratchpad, 0.1),
+          "Fig 8(b): resident blocks, scratchpad sharing",
+          "Fig 8(d): IPC improvement, scratchpad sharing (Shared-OWF)");
+  return 0;
+}

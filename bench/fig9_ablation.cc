@@ -1,0 +1,75 @@
+// Figure 9: optimization ablation and cycle accounting.
+//   (a) register sharing: Shared-LRR-NoOpt / +Unroll / +Unroll-Dyn /
+//       Shared-OWF-Unroll-Dyn, as % IPC improvement over Unshared-LRR (Set-1)
+//   (b) scratchpad sharing: Shared-LRR-NoOpt / Shared-OWF (Set-2)
+//   (c) % decrease in stall and idle cycles, register sharing (Set-1)
+//   (d) % decrease in stall and idle cycles, scratchpad sharing (Set-2)
+#include <cstdio>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "gpu/simulator.h"
+#include "workloads/suites.h"
+
+using namespace grs;
+
+int main() {
+  // ---- (a) register-sharing ablation --------------------------------------
+  {
+    TextTable t({"application", "Shared-LRR-NoOpt", "Shared-LRR-Unroll",
+                 "Shared-LRR-Unroll-Dyn", "Shared-OWF-Unroll-Dyn"});
+    for (const KernelInfo& k : workloads::set1()) {
+      const double base = simulate(configs::unshared(), k).stats.ipc();
+      std::vector<std::string> row{k.name};
+      for (const GpuConfig& c : {configs::shared_noopt(Resource::kRegisters),
+                                 configs::shared_unroll(Resource::kRegisters),
+                                 configs::shared_unroll_dyn(Resource::kRegisters),
+                                 configs::shared_owf_unroll_dyn(Resource::kRegisters)}) {
+        row.push_back(TextTable::pct(
+            percent_improvement(base, simulate(c, k).stats.ipc())));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print("Fig 9(a): register-sharing optimization ablation (vs Unshared-LRR)");
+  }
+
+  // ---- (b) scratchpad-sharing ablation -------------------------------------
+  {
+    TextTable t({"application", "Shared-LRR-NoOpt", "Shared-OWF"});
+    for (const KernelInfo& k : workloads::set2()) {
+      const double base = simulate(configs::unshared(), k).stats.ipc();
+      t.add_row({k.name,
+                 TextTable::pct(percent_improvement(
+                     base, simulate(configs::shared_noopt(Resource::kScratchpad), k)
+                               .stats.ipc())),
+                 TextTable::pct(percent_improvement(
+                     base,
+                     simulate(configs::shared_owf(Resource::kScratchpad), k).stats.ipc()))});
+    }
+    t.print("Fig 9(b): scratchpad-sharing optimization ablation (vs Unshared-LRR)");
+  }
+
+  // ---- (c)/(d) stall & idle cycle decrease ---------------------------------
+  auto cycle_table = [](const std::vector<KernelInfo>& kernels, const GpuConfig& shared,
+                        const char* caption) {
+    TextTable t({"application", "stall decrease", "idle decrease"});
+    for (const KernelInfo& k : kernels) {
+      const SimResult b = simulate(configs::unshared(), k);
+      const SimResult s = simulate(shared, k);
+      t.add_row({k.name,
+                 TextTable::pct(percent_decrease(
+                     static_cast<double>(b.stats.sm_total.stall_cycles),
+                     static_cast<double>(s.stats.sm_total.stall_cycles))),
+                 TextTable::pct(percent_decrease(
+                     static_cast<double>(b.stats.sm_total.idle_cycles),
+                     static_cast<double>(s.stats.sm_total.idle_cycles)))});
+    }
+    t.print(caption);
+  };
+  cycle_table(workloads::set1(), configs::shared_owf_unroll_dyn(Resource::kRegisters),
+              "Fig 9(c): cycle decrease, register sharing");
+  cycle_table(workloads::set2(), configs::shared_owf(Resource::kScratchpad),
+              "Fig 9(d): cycle decrease, scratchpad sharing");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Paper §V: storage cost of the sharing hardware, evaluated on the Table I
+// configuration and a sweep of SM shapes.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/hardware_cost.h"
+
+using namespace grs;
+
+int main() {
+  TextTable t({"T (blocks)", "W (warps)", "N (SMs)", "register sharing (bits)",
+               "scratchpad sharing (bits)", "total (bytes, both)"});
+  for (const HardwareCostParams& p :
+       {HardwareCostParams{8, 48, 14},    // paper Table I
+        HardwareCostParams{8, 48, 15},    // GTX480 shape
+        HardwareCostParams{16, 64, 16},   // Kepler-class
+        HardwareCostParams{32, 64, 80}}) {  // Volta-class
+    const std::uint64_t reg = register_sharing_bits(p);
+    const std::uint64_t smem = scratchpad_sharing_bits(p);
+    t.add_row({std::to_string(p.blocks_per_sm), std::to_string(p.warps_per_sm),
+               std::to_string(p.num_sms), std::to_string(reg), std::to_string(smem),
+               std::to_string((reg + smem + 7) / 8)});
+  }
+  t.print("Paper SV: hardware storage cost of the sharing mechanisms");
+  std::printf("\n(Table I config: %llu bits/SM register sharing — a %0.3f%% overhead "
+              "on the 128KB register file.)\n",
+              static_cast<unsigned long long>(
+                  register_sharing_bits(HardwareCostParams{8, 48, 14}) / 14),
+              100.0 *
+                  static_cast<double>(register_sharing_bits(HardwareCostParams{8, 48, 14}) / 14) /
+                  (32768.0 * 32.0));
+  return 0;
+}

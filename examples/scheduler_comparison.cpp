@@ -1,0 +1,39 @@
+// Compare all four warp schedulers (LRR, GTO, Two-Level, OWF) on one kernel,
+// with and without resource sharing — a compact version of the paper's
+// Fig. 10/12 methodology.
+//
+//   $ ./scheduler_comparison [kernel-name]   (default: MUM)
+#include <cstdio>
+#include <string>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "gpu/simulator.h"
+#include "workloads/suites.h"
+
+using namespace grs;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "MUM";
+  const KernelInfo kernel = workloads::by_name(name);
+
+  // Sharing is configured on whichever resource limits this kernel.
+  const Occupancy probe = compute_occupancy(configs::unshared(), kernel.resources);
+  const Resource res = probe.limiter == Resource::kScratchpad ? Resource::kScratchpad
+                                                              : Resource::kRegisters;
+
+  TextTable t({"scheduler", "unshared IPC", "shared IPC", "sharing gain"});
+  for (const SchedulerKind sched : {SchedulerKind::kLrr, SchedulerKind::kGto,
+                                    SchedulerKind::kTwoLevel, SchedulerKind::kOwf}) {
+    GpuConfig unshared = configs::unshared(sched);
+    GpuConfig shared = configs::shared_owf_unroll_dyn(res);
+    shared.scheduler = sched;  // keep the scheduler, keep the optimizations
+    const double u = simulate(unshared, kernel).stats.ipc();
+    const double s = simulate(shared, kernel).stats.ipc();
+    t.add_row({to_string(sched), TextTable::fmt(u), TextTable::fmt(s),
+               TextTable::pct(percent_improvement(u, s))});
+  }
+  t.print("scheduler comparison on " + kernel.name + " (sharing on " +
+          to_string(res) + std::string(")"));
+  return 0;
+}

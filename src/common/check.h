@@ -1,0 +1,29 @@
+// Lightweight always-on invariant checking.
+//
+// The simulator is deterministic; a violated invariant is a programming error,
+// never a data error, so we abort with a readable message rather than throw.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace grs::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "GRS_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace grs::detail
+
+#define GRS_CHECK(expr)                                                        \
+  do {                                                                         \
+    if (!(expr)) ::grs::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define GRS_CHECK_MSG(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr)) ::grs::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,83 @@
+#include "common/config.h"
+
+#include "common/check.h"
+
+namespace grs {
+
+std::string GpuConfig::line_label() const {
+  std::string s = sharing.enabled ? "Shared" : "Unshared";
+  s += "-";
+  s += to_string(scheduler);
+  if (sharing.enabled) {
+    if (sharing.unroll_registers) s += "-Unroll";
+    if (sharing.dynamic_warp_execution) s += "-Dyn";
+  }
+  return s;
+}
+
+void GpuConfig::validate() const {
+  GRS_CHECK(num_sms >= 1);
+  GRS_CHECK(warp_size >= 1);
+  GRS_CHECK(max_threads_per_sm % warp_size == 0);
+  GRS_CHECK(num_schedulers >= 1);
+  GRS_CHECK(max_warps_per_sm() >= num_schedulers);
+  GRS_CHECK(l1.line_bytes == l2.line_bytes);
+  GRS_CHECK(l1.num_sets() >= 1);
+  GRS_CHECK(l2.num_sets() >= 1);
+  GRS_CHECK_MSG(!sharing.enabled || (sharing.threshold_t > 0.0 && sharing.threshold_t <= 1.0),
+                "sharing threshold t must be in (0, 1]");
+  GRS_CHECK(sharing.dyn_period > 0);
+  GRS_CHECK(sharing.dyn_step > 0.0 && sharing.dyn_step <= 1.0);
+}
+
+namespace configs {
+
+GpuConfig unshared(SchedulerKind sched) {
+  GpuConfig c;
+  c.scheduler = sched;
+  c.sharing.enabled = false;
+  return c;
+}
+
+static GpuConfig shared_base(Resource res, double t) {
+  GpuConfig c;
+  c.sharing.enabled = true;
+  c.sharing.resource = res;
+  c.sharing.threshold_t = t;
+  return c;
+}
+
+GpuConfig shared_noopt(Resource res, double t) {
+  GpuConfig c = shared_base(res, t);
+  c.scheduler = SchedulerKind::kLrr;
+  return c;
+}
+
+GpuConfig shared_unroll(Resource res, double t) {
+  GpuConfig c = shared_noopt(res, t);
+  c.sharing.unroll_registers = true;
+  return c;
+}
+
+GpuConfig shared_unroll_dyn(Resource res, double t) {
+  GpuConfig c = shared_unroll(res, t);
+  c.sharing.dynamic_warp_execution = true;
+  return c;
+}
+
+GpuConfig shared_owf_unroll_dyn(Resource res, double t) {
+  GpuConfig c = shared_unroll_dyn(res, t);
+  c.scheduler = SchedulerKind::kOwf;
+  c.sharing.owf = true;
+  return c;
+}
+
+GpuConfig shared_owf(Resource res, double t) {
+  GpuConfig c = shared_base(res, t);
+  c.scheduler = SchedulerKind::kOwf;
+  c.sharing.owf = true;
+  return c;
+}
+
+}  // namespace configs
+}  // namespace grs

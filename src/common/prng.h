@@ -1,0 +1,57 @@
+// Deterministic pseudo-random utilities.
+//
+// The simulator must be bit-reproducible: two runs with the same configuration
+// produce identical statistics. All "randomness" (scatter memory patterns, the
+// Dyn throttle's probabilistic gate) therefore comes from counter-based
+// hashing of (structural position, cycle) rather than from stateful global
+// generators whose consumption order could drift across refactorings.
+#pragma once
+
+#include <cstdint>
+
+namespace grs {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix function.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Combine two words into one hash (order sensitive).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (mix64(b) + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+/// Uniform double in [0, 1) from a hash value.
+[[nodiscard]] constexpr double to_unit_double(std::uint64_t h) {
+  // 53 high-quality mantissa bits.
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Small stateful generator for places where a stream is genuinely wanted
+/// (workload construction, tests). SplitMix64.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n).
+  constexpr std::uint64_t next_below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() { return to_unit_double(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace grs

@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace grs {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  GRS_CHECK_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      if (r[c].size() > width[c]) width[c] = r[c].size();
+
+  auto emit_row = [&](const std::vector<std::string>& r, std::string& out) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::string cell = r[c];
+      if (c == 0) {
+        cell.resize(width[c], ' ');  // left align
+        out += cell;
+      } else {
+        out += std::string(width[c] - cell.size(), ' ') + cell;
+      }
+      out += (c + 1 == r.size()) ? "\n" : "  ";
+    }
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 == width.size() ? 0 : 2);
+  out += std::string(total, '-') + "\n";
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+void TextTable::print(const std::string& caption) const {
+  std::printf("\n== %s ==\n%s", caption.c_str(), render().c_str());
+  std::fflush(stdout);
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, v);
+  return buf;
+}
+
+}  // namespace grs

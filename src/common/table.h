@@ -1,0 +1,34 @@
+// Minimal fixed-width text table writer for the benchmark harnesses.
+//
+// Every bench binary prints the same rows/series the paper reports; this
+// helper keeps that output aligned and greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grs {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment. First column left-aligned, rest right.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: render and write to stdout with a caption line.
+  void print(const std::string& caption) const;
+
+  /// Format helpers.
+  [[nodiscard]] static std::string fmt(double v, int precision = 2);
+  [[nodiscard]] static std::string pct(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace grs

@@ -1,0 +1,90 @@
+// Fundamental type aliases and small enums shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace grs {
+
+/// Simulation time, in GPU core clock cycles.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "event never happens" / "not scheduled".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Global memory address (byte granularity, flat 64-bit space).
+using Addr = std::uint64_t;
+
+/// Architectural register number within a thread (0-based).
+using RegNum = std::uint16_t;
+
+/// Sentinel register operand meaning "unused slot".
+inline constexpr RegNum kNoReg = std::numeric_limits<RegNum>::max();
+
+/// Index of an SM within the GPU.
+using SmId = std::uint32_t;
+
+/// Dynamic warp id within an SM (0 .. max_resident_warps-1); also encodes age
+/// via the monotonically growing launch sequence kept separately.
+using WarpSlot = std::uint32_t;
+
+/// Block slot within an SM's resident set.
+using BlockSlot = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidSlot = std::numeric_limits<std::uint32_t>::max();
+
+/// Which SM resource a kernel is constrained by / which resource is shared.
+enum class Resource : std::uint8_t {
+  kRegisters,
+  kScratchpad,
+  kThreads,  ///< max resident threads per SM
+  kBlocks,   ///< max resident blocks per SM
+};
+
+[[nodiscard]] constexpr const char* to_string(Resource r) {
+  switch (r) {
+    case Resource::kRegisters: return "registers";
+    case Resource::kScratchpad: return "scratchpad";
+    case Resource::kThreads: return "threads";
+    case Resource::kBlocks: return "blocks";
+  }
+  return "?";
+}
+
+/// Warp scheduling policies (paper §VI: LRR, GTO, Two-Level baselines; OWF is
+/// the paper's contribution, §IV-A).
+enum class SchedulerKind : std::uint8_t {
+  kLrr,       ///< Loose round-robin (GPGPU-Sim default baseline).
+  kGto,       ///< Greedy-then-oldest.
+  kTwoLevel,  ///< Two-level (Narasiman et al., MICRO-44).
+  kOwf,       ///< Owner-warp-first (paper §IV-A).
+};
+
+[[nodiscard]] constexpr const char* to_string(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kLrr: return "LRR";
+    case SchedulerKind::kGto: return "GTO";
+    case SchedulerKind::kTwoLevel: return "TwoLevel";
+    case SchedulerKind::kOwf: return "OWF";
+  }
+  return "?";
+}
+
+/// Sharing-related classification of a warp, used by OWF priorities and the
+/// dynamic warp-execution throttle.
+enum class WarpClass : std::uint8_t {
+  kUnshared,       ///< belongs to an unshared thread block
+  kSharedOwner,    ///< belongs to the owner block of a shared pair
+  kSharedNonOwner  ///< belongs to the non-owner block of a shared pair
+};
+
+[[nodiscard]] constexpr const char* to_string(WarpClass c) {
+  switch (c) {
+    case WarpClass::kUnshared: return "unshared";
+    case WarpClass::kSharedOwner: return "owner";
+    case WarpClass::kSharedNonOwner: return "non-owner";
+  }
+  return "?";
+}
+
+}  // namespace grs

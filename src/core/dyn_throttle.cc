@@ -1,0 +1,46 @@
+#include "core/dyn_throttle.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace grs {
+
+DynThrottle::DynThrottle(const SharingConfig& cfg, std::uint32_t num_sms)
+    : cfg_(cfg), prob_(num_sms, 1.0) {
+  GRS_CHECK(num_sms >= 1);
+  // SM0 is the all-disabled reference point (paper §IV-C).
+  prob_[0] = 0.0;
+}
+
+bool DynThrottle::allow(SmId sm, Cycle now, std::uint64_t warp_uid) const {
+  if (!cfg_.dynamic_warp_execution) return true;
+  GRS_CHECK(sm < prob_.size());
+  if (sm == 0) return false;
+  const double p = prob_[sm];
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  const std::uint64_t h = hash_combine(hash_combine(sm, now), warp_uid);
+  return to_unit_double(h) < p;
+}
+
+void DynThrottle::on_period_end(const std::vector<std::uint64_t>& period_stalls) {
+  if (!cfg_.dynamic_warp_execution) return;
+  GRS_CHECK(period_stalls.size() == prob_.size());
+  const std::uint64_t reference = period_stalls[0];
+  for (std::size_t i = 1; i < prob_.size(); ++i) {
+    if (period_stalls[i] > reference) {
+      prob_[i] = std::max(0.0, prob_[i] - cfg_.dyn_step);
+    } else {
+      prob_[i] = std::min(1.0, prob_[i] + cfg_.dyn_step);
+    }
+  }
+}
+
+double DynThrottle::probability(SmId sm) const {
+  GRS_CHECK(sm < prob_.size());
+  return prob_[sm];
+}
+
+}  // namespace grs

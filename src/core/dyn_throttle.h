@@ -1,0 +1,42 @@
+// Dynamic warp execution (paper §IV-C).
+//
+// Controls whether non-owner warps may issue *global memory* instructions.
+// SM0 is the reference: its non-owner memory instructions are disabled
+// outright. Every other SMi keeps a probability p_i (initially 1.0); every
+// `dyn_period` cycles it compares the stall cycles it accumulated over the
+// period with SM0's and moves p_i down (more stalls than SM0) or up (fewer)
+// by `dyn_step`, saturating in [0, 1].
+//
+// The per-issue gate is a counter-based hash of (sm, cycle, warp) so the
+// decision sequence is reproducible and independent of evaluation order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace grs {
+
+class DynThrottle {
+ public:
+  DynThrottle(const SharingConfig& cfg, std::uint32_t num_sms);
+
+  /// May a non-owner warp on `sm` issue a global-memory instruction now?
+  [[nodiscard]] bool allow(SmId sm, Cycle now, std::uint64_t warp_uid) const;
+
+  /// Called once per `dyn_period`; `period_stalls[i]` = stall cycles SMi
+  /// accumulated during the period just ended.
+  void on_period_end(const std::vector<std::uint64_t>& period_stalls);
+
+  [[nodiscard]] double probability(SmId sm) const;
+  [[nodiscard]] Cycle period() const { return cfg_.dyn_period; }
+  [[nodiscard]] bool enabled() const { return cfg_.dynamic_warp_execution; }
+
+ private:
+  SharingConfig cfg_;
+  std::vector<double> prob_;
+};
+
+}  // namespace grs

@@ -1,0 +1,33 @@
+#include "core/hardware_cost.h"
+
+#include "common/check.h"
+
+namespace grs {
+
+std::uint32_t ceil_log2(std::uint64_t x) {
+  GRS_CHECK(x >= 1);
+  std::uint32_t bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+std::uint64_t register_sharing_bits(const HardwareCostParams& p) {
+  const std::uint64_t T = p.blocks_per_sm;
+  const std::uint64_t W = p.warps_per_sm;
+  const std::uint64_t per_sm =
+      1 + T * ceil_log2(T + 1) + 2 * W + (W / 2) * ceil_log2(W);
+  return per_sm * p.num_sms;
+}
+
+std::uint64_t scratchpad_sharing_bits(const HardwareCostParams& p) {
+  const std::uint64_t T = p.blocks_per_sm;
+  const std::uint64_t W = p.warps_per_sm;
+  const std::uint64_t per_sm = 1 + T * ceil_log2(T + 1) + W + (T / 2) * ceil_log2(T);
+  return per_sm * p.num_sms;
+}
+
+}  // namespace grs

@@ -1,0 +1,25 @@
+// Hardware storage cost of the sharing mechanisms (paper §V).
+#pragma once
+
+#include <cstdint>
+
+namespace grs {
+
+/// Inputs: T = max resident thread blocks per SM, W = max resident warps per
+/// SM, N = number of SMs.
+struct HardwareCostParams {
+  std::uint32_t blocks_per_sm = 8;   ///< T
+  std::uint32_t warps_per_sm = 48;   ///< W
+  std::uint32_t num_sms = 14;        ///< N
+};
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] std::uint32_t ceil_log2(std::uint64_t x);
+
+/// Register sharing: (1 + T*ceil(log2(T+1)) + 2W + floor(W/2)*ceil(log2 W)) * N bits.
+[[nodiscard]] std::uint64_t register_sharing_bits(const HardwareCostParams& p);
+
+/// Scratchpad sharing: (1 + T*ceil(log2(T+1)) + W + floor(T/2)*ceil(log2 T)) * N bits.
+[[nodiscard]] std::uint64_t scratchpad_sharing_bits(const HardwareCostParams& p);
+
+}  // namespace grs

@@ -1,0 +1,77 @@
+#include "core/locks.h"
+
+#include "common/check.h"
+
+namespace grs {
+
+PairLockState::PairLockState(std::uint32_t warp_positions)
+    : reg_holder_(warp_positions, static_cast<std::int8_t>(kNoSide)) {}
+
+bool PairLockState::reg_can_acquire(int side, std::uint32_t pos) const {
+  GRS_CHECK(side == 0 || side == 1);
+  GRS_CHECK(pos < reg_holder_.size());
+  if (reg_holder_[pos] == side) return true;           // already holds it
+  if (reg_holder_[pos] != kNoSide) return false;       // partner warp holds it
+  if (entitled_ == 1 - side) return false;             // partner owns the pool
+  return reg_count_[1 - side] == 0;                    // Fig. 5 rule
+}
+
+void PairLockState::reg_acquire(int side, std::uint32_t pos) {
+  GRS_CHECK_MSG(reg_can_acquire(side, pos), "illegal register lock acquisition");
+  if (reg_holder_[pos] == side) return;  // idempotent
+  reg_holder_[pos] = static_cast<std::int8_t>(side);
+  ++reg_count_[side];
+}
+
+void PairLockState::reg_release_on_warp_finish(int side, std::uint32_t pos) {
+  GRS_CHECK(side == 0 || side == 1);
+  GRS_CHECK(pos < reg_holder_.size());
+  if (reg_holder_[pos] != side) return;
+  reg_holder_[pos] = static_cast<std::int8_t>(kNoSide);
+  GRS_CHECK(reg_count_[side] > 0);
+  --reg_count_[side];
+}
+
+bool PairLockState::reg_held(int side, std::uint32_t pos) const {
+  GRS_CHECK(pos < reg_holder_.size());
+  return reg_holder_[pos] == side;
+}
+
+std::uint32_t PairLockState::reg_locks_held(int side) const {
+  GRS_CHECK(side == 0 || side == 1);
+  return reg_count_[side];
+}
+
+bool PairLockState::smem_can_acquire(int side) const {
+  GRS_CHECK(side == 0 || side == 1);
+  if (entitled_ == 1 - side) return false;  // partner owns the pool
+  return smem_holder_ == kNoSide || smem_holder_ == side;
+}
+
+void PairLockState::smem_acquire(int side) {
+  GRS_CHECK_MSG(smem_can_acquire(side), "illegal scratchpad lock acquisition");
+  smem_holder_ = static_cast<std::int8_t>(side);
+}
+
+void PairLockState::on_block_finish(int side) {
+  GRS_CHECK(side == 0 || side == 1);
+  // All the block's warps have finished, so their register locks are gone.
+  GRS_CHECK_MSG(reg_count_[side] == 0,
+                "block finished with live warp register locks");
+  if (smem_holder_ == side) smem_holder_ = kNoSide;
+  if (entitled_ == side) entitled_ = kNoSide;
+}
+
+void PairLockState::on_block_replace(int side) {
+  GRS_CHECK(side == 0 || side == 1);
+  GRS_CHECK(reg_count_[side] == 0);
+  GRS_CHECK(smem_holder_ != side);
+}
+
+int PairLockState::locked_side() const {
+  if (reg_count_[0] > 0 || smem_holder_ == 0) return 0;
+  if (reg_count_[1] > 0 || smem_holder_ == 1) return 1;
+  return kNoSide;
+}
+
+}  // namespace grs

@@ -1,0 +1,83 @@
+// Shared-resource lock state for one shared pair of thread blocks.
+//
+// Register sharing (paper §III-A): each pair of warps (one warp from each
+// block at the same position) shares a pool of registers guarded by a lock.
+// A warp holds the lock from its first shared-register access until it
+// finishes. Deadlock avoidance (paper Fig. 5): a warp of block A may acquire
+// a lock only while no *live* warp of block B holds any lock of the pair —
+// i.e. only one side of the pair can be in the shared region at a time.
+//
+// Scratchpad sharing (paper §III-B): a single block-granular lock; the first
+// block to touch the shared scratchpad region owns it until it finishes.
+//
+// PairLockState is pure bookkeeping (no SM coupling) so it can be unit-tested
+// against the paper's Fig. 5 scenario directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace grs {
+
+class PairLockState {
+ public:
+  /// `warp_positions` — warps per block (register-sharing locks are per warp
+  /// position; scratchpad sharing ignores them).
+  explicit PairLockState(std::uint32_t warp_positions);
+
+  static constexpr int kNoSide = -1;
+
+  // --- ownership entitlement ---------------------------------------------
+  /// The owner block of the pair is *entitled* to the shared pool: the other
+  /// side cannot acquire anything while an entitlement is set (paper §IV-A —
+  /// ownership transfers to the non-owner when the owner finishes, and the
+  /// freshly launched replacement must wait its turn rather than racing the
+  /// resumed block for the locks). kNoSide = first access wins (initial
+  /// launch, paper §III).
+  void set_entitled(int side) { entitled_ = static_cast<std::int8_t>(side); }
+  [[nodiscard]] int entitled() const { return entitled_; }
+
+  // --- register locks (per warp position) -------------------------------
+  /// May `side`'s warp at `pos` enter the shared-register region now?
+  /// True if it already holds the lock, or the lock is free, no live lock
+  /// of the *other* side exists (the Fig. 5 rule), and `side` is not barred
+  /// by the other side's entitlement.
+  [[nodiscard]] bool reg_can_acquire(int side, std::uint32_t pos) const;
+
+  /// Acquire (idempotent for the current holder). Must be legal.
+  void reg_acquire(int side, std::uint32_t pos);
+
+  /// Warp finished: release its position lock if held.
+  void reg_release_on_warp_finish(int side, std::uint32_t pos);
+
+  [[nodiscard]] bool reg_held(int side, std::uint32_t pos) const;
+  [[nodiscard]] std::uint32_t reg_locks_held(int side) const;
+
+  // --- scratchpad lock (block granularity) -------------------------------
+  [[nodiscard]] bool smem_can_acquire(int side) const;
+  void smem_acquire(int side);
+  [[nodiscard]] int smem_holder() const { return smem_holder_; }
+
+  // --- lifecycle ----------------------------------------------------------
+  /// Block on `side` finished: all its locks drop (its warps have finished,
+  /// which released register locks already — checked) and the scratchpad
+  /// lock, if held by it, is released.
+  void on_block_finish(int side);
+
+  /// A new block was installed on `side`; its lock state must be clean.
+  void on_block_replace(int side);
+
+  /// Which side currently holds any lock (kNoSide if none). With the Fig. 5
+  /// rule at most one side can hold locks, so this is well defined.
+  [[nodiscard]] int locked_side() const;
+
+ private:
+  std::vector<std::int8_t> reg_holder_;  ///< per position: kNoSide/0/1
+  std::uint32_t reg_count_[2] = {0, 0};
+  std::int8_t smem_holder_ = kNoSide;
+  std::int8_t entitled_ = kNoSide;
+};
+
+}  // namespace grs

@@ -1,0 +1,132 @@
+#include "core/occupancy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace grs {
+
+namespace {
+
+/// Integer-exact evaluation of Eq. 4's fractional term:
+/// extra = ⌊ (R - D*Rtb) / (t*Rtb) ⌋ with t carried in thousandths.
+std::uint32_t eq4_extra_blocks(std::uint64_t R, std::uint64_t Rtb, std::uint64_t D,
+                               double t) {
+  const std::uint64_t rem = R - D * Rtb;
+  const auto t_milli = static_cast<std::uint64_t>(std::llround(t * 1000.0));
+  GRS_CHECK(t_milli >= 1 && t_milli <= 1000);
+  return static_cast<std::uint32_t>((rem * 1000) / (t_milli * Rtb));
+}
+
+}  // namespace
+
+Occupancy compute_occupancy(const GpuConfig& cfg, const KernelResources& k) {
+  GRS_CHECK(k.threads_per_block >= 1);
+  Occupancy o;
+
+  const std::uint32_t warps = k.warps_per_block(cfg.warp_size);
+  const std::uint32_t blocks_by_warps = cfg.max_warps_per_sm() / warps;
+  const std::uint32_t blocks_by_limit = cfg.max_blocks_per_sm;
+  const std::uint32_t blocks_by_regs =
+      k.regs_per_block() == 0 ? UINT32_MAX : cfg.registers_per_sm / k.regs_per_block();
+  const std::uint32_t blocks_by_smem =
+      k.smem_per_block == 0 ? UINT32_MAX : cfg.scratchpad_per_sm / k.smem_per_block;
+
+  o.baseline_blocks =
+      std::min(std::min(blocks_by_warps, blocks_by_limit), std::min(blocks_by_regs, blocks_by_smem));
+  GRS_CHECK_MSG(o.baseline_blocks >= 1, "kernel does not fit on the SM at all");
+
+  // Binding constraint: ties resolved in the paper's presentation order.
+  if (blocks_by_regs == o.baseline_blocks) {
+    o.limiter = Resource::kRegisters;
+  } else if (blocks_by_smem == o.baseline_blocks) {
+    o.limiter = Resource::kScratchpad;
+  } else if (blocks_by_warps == o.baseline_blocks) {
+    o.limiter = Resource::kThreads;
+  } else {
+    o.limiter = Resource::kBlocks;
+  }
+
+  // Baseline wastage of the limiting resource (Fig. 1(b)/(d)).
+  std::uint64_t R = 0, Rtb = 0;
+  if (o.limiter == Resource::kRegisters) {
+    R = cfg.registers_per_sm;
+    Rtb = k.regs_per_block();
+  } else if (o.limiter == Resource::kScratchpad) {
+    R = cfg.scratchpad_per_sm;
+    Rtb = k.smem_per_block;
+  }
+  if (Rtb != 0) {
+    o.baseline_waste_percent =
+        100.0 * static_cast<double>(R - o.baseline_blocks * Rtb) / static_cast<double>(R);
+  }
+
+  // Default: no sharing.
+  o.total_blocks = o.baseline_blocks;
+  o.unshared_blocks = o.baseline_blocks;
+  o.shared_pairs = 0;
+  o.eq4_blocks = o.baseline_blocks;
+
+  const SharingConfig& sh = cfg.sharing;
+  const bool applicable = sh.enabled && sh.resource == o.limiter &&
+                          (sh.resource == Resource::kRegisters ||
+                           sh.resource == Resource::kScratchpad) &&
+                          Rtb != 0;
+  if (!applicable) {
+    // Sharing-mode thresholds are irrelevant; everything is unshared.
+    o.unshared_regs_per_thread = k.regs_per_thread;
+    o.unshared_smem_bytes = k.smem_per_block;
+    return o;
+  }
+
+  const std::uint32_t D = o.baseline_blocks;
+  const std::uint32_t extra = eq4_extra_blocks(R, Rtb, D, sh.threshold_t);
+  o.eq4_blocks = D + extra;
+
+  // Caps: pairing bound, threads, blocks, and the other resource's unshared
+  // demand (extra blocks still consume it at full rate).
+  std::uint32_t M = std::min(o.eq4_blocks, 2 * D);
+  M = std::min(M, blocks_by_warps);
+  M = std::min(M, blocks_by_limit);
+  if (o.limiter == Resource::kRegisters) {
+    M = std::min(M, blocks_by_smem);
+  } else {
+    M = std::min(M, blocks_by_regs);
+  }
+
+  if (M <= D) {
+    // Sharing adds nothing at this threshold: launch everything unshared
+    // (paper §VI-B.1: "at run time, our approach decides to launch all the
+    // thread blocks in the unsharing mode").
+    o.unshared_regs_per_thread = k.regs_per_thread;
+    o.unshared_smem_bytes = k.smem_per_block;
+    return o;
+  }
+
+  o.sharing_active = true;
+  o.total_blocks = M;
+  o.shared_pairs = M - D;
+  o.unshared_blocks = D - o.shared_pairs;
+
+  // Eq. 2 must hold by construction of Eq. 4.
+  const auto t_units = [&](std::uint64_t units) {
+    return static_cast<std::uint64_t>(std::floor(static_cast<double>(units) * sh.threshold_t));
+  };
+  const std::uint64_t used = o.unshared_blocks * Rtb + o.shared_pairs * (Rtb + t_units(Rtb));
+  GRS_CHECK_MSG(used <= R, "Eq. 2 violated: sharing plan over-allocates");
+
+  // Private partition of the shared resource (Fig. 3/4 step (c) thresholds).
+  if (o.limiter == Resource::kRegisters) {
+    o.unshared_regs_per_thread =
+        static_cast<std::uint32_t>(std::floor(k.regs_per_thread * sh.threshold_t));
+    o.unshared_smem_bytes = k.smem_per_block;
+  } else {
+    o.unshared_smem_bytes =
+        static_cast<std::uint32_t>(std::floor(k.smem_per_block * sh.threshold_t));
+    o.unshared_regs_per_thread = k.regs_per_thread;
+  }
+  return o;
+}
+
+}  // namespace grs

@@ -1,0 +1,70 @@
+// Resident-block arithmetic: baseline occupancy and the paper's sharing plan.
+//
+// Baseline (paper §II): blocks per SM = min over the four constraints
+// (registers, scratchpad, max threads, max blocks). Sharing (paper §III-C,
+// Eq. 1-4): launch U unshared blocks plus S shared pairs on the limiting
+// resource such that
+//     S + U = ⌊R/Rtb⌋            (effective blocks preserved, Eq. 1)
+//     U*Rtb + S*(1+t)*Rtb <= R   (capacity, Eq. 2)
+//     M = U + 2S                 (Eq. 3)
+//     M = ⌊R/Rtb⌋ + (1/t)(R/Rtb - ⌊R/Rtb⌋)   (Eq. 4)
+// M is additionally capped by 2*⌊R/Rtb⌋ (every extra block needs a partner),
+// by the max-threads and max-blocks limits, and by the *other* resource's
+// unshared capacity (paper §III-C last paragraph).
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace grs {
+
+/// Static resource demand of one kernel (paper Tables II/III inputs).
+struct KernelResources {
+  std::uint32_t threads_per_block = 0;
+  std::uint32_t regs_per_thread = 0;
+  std::uint32_t smem_per_block = 0;  ///< bytes
+
+  [[nodiscard]] std::uint32_t warps_per_block(std::uint32_t warp_size) const {
+    return (threads_per_block + warp_size - 1) / warp_size;
+  }
+  [[nodiscard]] std::uint32_t regs_per_block() const {
+    return regs_per_thread * threads_per_block;
+  }
+};
+
+/// The launch plan for one SM.
+struct Occupancy {
+  // Baseline (non-sharing).
+  std::uint32_t baseline_blocks = 0;
+  Resource limiter = Resource::kBlocks;  ///< binding constraint of the baseline
+
+  // Sharing plan. When sharing is disabled or adds nothing, these collapse to
+  // the baseline: total==baseline, pairs==0, unshared==baseline.
+  bool sharing_active = false;       ///< extra blocks are actually launched
+  std::uint32_t total_blocks = 0;    ///< M (capped)
+  std::uint32_t unshared_blocks = 0; ///< U
+  std::uint32_t shared_pairs = 0;    ///< S
+  std::uint32_t eq4_blocks = 0;      ///< ⌊Eq.4⌋ before caps (diagnostics)
+
+  /// Shared/unshared partition thresholds of the shared resource.
+  /// Register sharing: architectural register numbers per *thread* below
+  /// this are private ("RegNo <= Rw*t", Fig. 3(c)). Scratchpad sharing:
+  /// byte offsets below this are private ("SMemLoc <= Rtb*t", Fig. 4(c)).
+  std::uint32_t unshared_regs_per_thread = 0;
+  std::uint32_t unshared_smem_bytes = 0;
+
+  /// Blocks guaranteed to make progress (>= baseline by construction).
+  [[nodiscard]] std::uint32_t effective_blocks() const {
+    return unshared_blocks + shared_pairs;
+  }
+  /// Percentage of the limiting resource left unused by the baseline
+  /// allocation (paper Fig. 1(b)/(d)).
+  double baseline_waste_percent = 0.0;
+};
+
+/// Compute the launch plan for `k` under `cfg` (uses cfg.sharing).
+[[nodiscard]] Occupancy compute_occupancy(const GpuConfig& cfg, const KernelResources& k);
+
+}  // namespace grs

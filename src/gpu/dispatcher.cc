@@ -1,0 +1,34 @@
+#include "gpu/dispatcher.h"
+
+#include "common/check.h"
+
+namespace grs {
+
+Dispatcher::Dispatcher(std::uint32_t grid_blocks, const Occupancy& occ,
+                       std::vector<StreamingMultiprocessor>& sms)
+    : grid_blocks_(grid_blocks), occ_(occ), sms_(&sms) {
+  GRS_CHECK(grid_blocks >= 1);
+  GRS_CHECK(!sms.empty());
+  for (auto& sm : sms) {
+    sm.set_block_finish_callback(
+        [this](SmId id, BlockSlot slot) { on_block_finish(id, slot); });
+  }
+}
+
+void Dispatcher::initial_fill() {
+  // Round-robin over SMs, slot-major within an SM only after every SM got its
+  // k-th block: block 0 -> SM0 slot0, block 1 -> SM1 slot0, ...
+  for (std::uint32_t slot = 0; slot < occ_.total_blocks; ++slot) {
+    for (auto& sm : *sms_) {
+      if (next_block_ >= grid_blocks_) return;
+      sm.launch_block(slot, next_block_++);
+    }
+  }
+}
+
+void Dispatcher::on_block_finish(SmId sm, BlockSlot slot) {
+  if (next_block_ >= grid_blocks_) return;
+  (*sms_)[sm].launch_block(slot, next_block_++);
+}
+
+}  // namespace grs

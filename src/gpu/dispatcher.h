@@ -1,0 +1,42 @@
+// Grid-wide block dispatcher.
+//
+// Hands out thread blocks to SM slots: the initial fill and every refill when
+// a resident block finishes. The slot layout (unshared slots first, then pair
+// sides) is fixed by the Occupancy plan; a refilled pair slot automatically
+// joins as the *non-owner* side because the SM keeps ownership with the
+// surviving partner (paper §IV-A: "a new non-owner thread block gets
+// launched").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/occupancy.h"
+#include "sm/sm.h"
+
+namespace grs {
+
+class Dispatcher {
+ public:
+  Dispatcher(std::uint32_t grid_blocks, const Occupancy& occ,
+             std::vector<StreamingMultiprocessor>& sms);
+
+  /// Fill every SM per the occupancy plan (round-robin over SMs so early
+  /// block ids spread across the GPU, as hardware does).
+  void initial_fill();
+
+  /// SM callback on block completion: refill the slot if blocks remain.
+  void on_block_finish(SmId sm, BlockSlot slot);
+
+  [[nodiscard]] std::uint32_t dispatched() const { return next_block_; }
+  [[nodiscard]] bool all_dispatched() const { return next_block_ >= grid_blocks_; }
+
+ private:
+  std::uint32_t grid_blocks_;
+  Occupancy occ_;
+  std::vector<StreamingMultiprocessor>* sms_;
+  std::uint32_t next_block_ = 0;
+};
+
+}  // namespace grs

@@ -1,0 +1,64 @@
+#include "gpu/gpu.h"
+
+#include "common/check.h"
+
+namespace grs {
+
+Gpu::Gpu(const GpuConfig& cfg, const KernelInfo& kernel, const Program& program)
+    : cfg_(cfg),
+      occupancy_(compute_occupancy(cfg, kernel.resources)),
+      memsys_(cfg),
+      dyn_(cfg.sharing, cfg.num_sms) {
+  cfg_.validate();
+  sms_.reserve(cfg.num_sms);
+  for (SmId i = 0; i < cfg.num_sms; ++i) {
+    sms_.emplace_back(i, cfg_, program, kernel.resources, occupancy_,
+                      kernel.active_lanes, memsys_, &dyn_);
+  }
+  dispatcher_ = std::make_unique<Dispatcher>(kernel.grid_blocks, occupancy_, sms_);
+}
+
+bool Gpu::done() const {
+  if (!dispatcher_->all_dispatched()) return false;
+  for (const auto& sm : sms_) {
+    if (!sm.drained()) return false;
+  }
+  return true;
+}
+
+GpuStats Gpu::run() {
+  dispatcher_->initial_fill();
+
+  std::vector<std::uint64_t> stall_mark(sms_.size(), 0);
+  std::vector<std::uint64_t> period_stalls(sms_.size(), 0);
+
+  Cycle cycle = 0;
+  while (!done()) {
+    ++cycle;
+    for (auto& sm : sms_) sm.step(cycle);
+
+    // Dynamic warp execution: periodic stall comparison against SM0
+    // (paper §IV-C, monitoring period 1000 cycles).
+    if (dyn_.enabled() && cycle % dyn_.period() == 0) {
+      for (std::size_t i = 0; i < sms_.size(); ++i) {
+        const std::uint64_t s = sms_[i].stats().stall_cycles;
+        period_stalls[i] = s - stall_mark[i];
+        stall_mark[i] = s;
+      }
+      dyn_.on_period_end(period_stalls);
+    }
+
+    if (cfg_.max_cycles != 0 && cycle >= cfg_.max_cycles) break;
+  }
+
+  GpuStats g;
+  g.cycles = cycle;
+  for (auto& sm : sms_) g.sm_total.merge(sm.finalize_stats());
+  g.l2_accesses = memsys_.l2_accesses();
+  g.l2_misses = memsys_.l2_misses();
+  g.dram_requests = memsys_.dram_requests();
+  g.dram_row_hits = memsys_.dram_row_hits();
+  return g;
+}
+
+}  // namespace grs

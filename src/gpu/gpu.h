@@ -1,0 +1,42 @@
+// Whole-GPU model: SMs + shared L2/DRAM + dispatcher + Dyn controller.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "core/dyn_throttle.h"
+#include "core/occupancy.h"
+#include "gpu/dispatcher.h"
+#include "memory/memsys.h"
+#include "sm/sm.h"
+#include "workloads/kernel_info.h"
+
+namespace grs {
+
+class Gpu {
+ public:
+  /// `program` must outlive the Gpu (the Simulator facade owns the
+  /// possibly-reordered copy). `kernel.program` is ignored here.
+  Gpu(const GpuConfig& cfg, const KernelInfo& kernel, const Program& program);
+
+  /// Run the grid to completion (or cfg.max_cycles); returns aggregate stats.
+  [[nodiscard]] GpuStats run();
+
+  [[nodiscard]] const Occupancy& occupancy() const { return occupancy_; }
+  [[nodiscard]] const std::vector<StreamingMultiprocessor>& sms() const { return sms_; }
+
+ private:
+  [[nodiscard]] bool done() const;
+
+  GpuConfig cfg_;
+  Occupancy occupancy_;
+  MemorySystem memsys_;
+  DynThrottle dyn_;
+  std::vector<StreamingMultiprocessor> sms_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+}  // namespace grs

@@ -1,0 +1,26 @@
+#include "gpu/simulator.h"
+
+#include "gpu/gpu.h"
+#include "isa/reorder.h"
+
+namespace grs {
+
+SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel) {
+  cfg.validate();
+  kernel.validate();
+
+  Program program = kernel.program;
+  if (cfg.sharing.enabled && cfg.sharing.unroll_registers &&
+      cfg.sharing.resource == Resource::kRegisters) {
+    program = reorder_registers_by_first_use(program);
+  }
+
+  Gpu gpu(cfg, kernel, program);
+  SimResult r;
+  r.stats = gpu.run();
+  r.occupancy = gpu.occupancy();
+  r.config = cfg;
+  return r;
+}
+
+}  // namespace grs

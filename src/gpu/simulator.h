@@ -1,0 +1,27 @@
+// Public entry point: run one kernel under one configuration.
+//
+//   GpuConfig cfg = configs::shared_owf_unroll_dyn(Resource::kRegisters);
+//   SimResult r = simulate(cfg, workloads::hotspot());
+//   std::cout << r.stats.ipc();
+//
+// Applies the unroll/reorder register pass when the config asks for it
+// (paper §IV-B is a compile-time transformation, so it lives here, not in
+// the SM).
+#pragma once
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "core/occupancy.h"
+#include "workloads/kernel_info.h"
+
+namespace grs {
+
+struct SimResult {
+  GpuStats stats;
+  Occupancy occupancy;
+  GpuConfig config;
+};
+
+[[nodiscard]] SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel);
+
+}  // namespace grs

@@ -1,0 +1,59 @@
+#include "isa/analysis.h"
+
+#include <cstdio>
+
+namespace grs {
+
+MixSummary summarize_mix(const Program& p) {
+  MixSummary m;
+  for (const auto& s : p.segments()) {
+    for (const auto& i : s.instrs) {
+      const std::uint64_t n = s.iterations;
+      switch (i.op) {
+        case Op::kAlu: m.alu += n; break;
+        case Op::kSfu: m.sfu += n; break;
+        case Op::kLdGlobal:
+        case Op::kStGlobal: m.global_mem += n; break;
+        case Op::kLdShared:
+        case Op::kStShared: m.shared_mem += n; break;
+        case Op::kBarrier: m.barriers += n; break;
+        case Op::kExit: break;
+      }
+      m.total += n;
+    }
+  }
+  return m;
+}
+
+std::string MixSummary::to_text() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "total=%llu alu=%llu sfu=%llu gmem=%llu smem=%llu bar=%llu (mem %.1f%%)",
+                static_cast<unsigned long long>(total), static_cast<unsigned long long>(alu),
+                static_cast<unsigned long long>(sfu),
+                static_cast<unsigned long long>(global_mem),
+                static_cast<unsigned long long>(shared_mem),
+                static_cast<unsigned long long>(barriers), mem_fraction() * 100.0);
+  return buf;
+}
+
+std::uint64_t instructions_before_shared_reg(const Program& p, RegNum unshared_regs) {
+  ProgramCursor c(p);
+  while (const Instruction* i = c.peek(p)) {
+    const RegNum m = i->max_reg();
+    if (m != kNoReg && m >= unshared_regs) return c.consumed();
+    c.advance(p);
+  }
+  return p.dynamic_length();
+}
+
+std::uint64_t instructions_before_shared_smem(const Program& p, std::uint32_t unshared_bytes) {
+  ProgramCursor c(p);
+  while (const Instruction* i = c.peek(p)) {
+    if (is_shared_mem(i->op) && i->smem_offset >= unshared_bytes) return c.consumed();
+    c.advance(p);
+  }
+  return p.dynamic_length();
+}
+
+}  // namespace grs

@@ -1,0 +1,42 @@
+// Static analyses over kernel programs used by tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.h"
+
+namespace grs {
+
+/// Instruction-mix summary (dynamic counts for one warp execution).
+struct MixSummary {
+  std::uint64_t alu = 0;
+  std::uint64_t sfu = 0;
+  std::uint64_t global_mem = 0;
+  std::uint64_t shared_mem = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t total = 0;
+
+  [[nodiscard]] double mem_fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(global_mem) / static_cast<double>(total);
+  }
+  [[nodiscard]] std::string to_text() const;
+};
+
+[[nodiscard]] MixSummary summarize_mix(const Program& p);
+
+/// Number of dynamic instructions a warp executes before its first access to
+/// a register with number > unshared_regs (i.e. a *shared* register under
+/// register sharing with Rw*t = unshared_regs). Returns the program's full
+/// dynamic length if no such access exists. This is the quantity the
+/// unroll/reorder optimization maximizes (paper §IV-B).
+[[nodiscard]] std::uint64_t instructions_before_shared_reg(const Program& p,
+                                                           RegNum unshared_regs);
+
+/// Same for scratchpad: dynamic instructions before the first access to a
+/// scratchpad offset > unshared_bytes (paper Fig. 4 step (c)); full length if
+/// none (e.g. lavaMD's accessed footprint stays in the private region).
+[[nodiscard]] std::uint64_t instructions_before_shared_smem(const Program& p,
+                                                            std::uint32_t unshared_bytes);
+
+}  // namespace grs

@@ -1,0 +1,135 @@
+#include "isa/builder.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace grs {
+
+ProgramBuilder::ProgramBuilder(RegNum num_regs) : num_regs_(num_regs) {
+  GRS_CHECK(num_regs >= 1);
+}
+
+void ProgramBuilder::emit(Instruction i) {
+  GRS_CHECK_MSG(!built_, "builder already consumed");
+  current_.push_back(i);
+}
+
+void ProgramBuilder::close_segment(std::uint32_t iterations) {
+  if (current_.empty()) return;
+  done_.push_back(Segment{std::move(current_), iterations});
+  current_.clear();
+}
+
+ProgramBuilder& ProgramBuilder::alu(RegNum dst, RegNum src0, RegNum src1) {
+  Instruction i;
+  i.op = Op::kAlu;
+  i.dst = dst;
+  i.src0 = src0;
+  i.src1 = src1;
+  emit(i);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::sfu(RegNum dst, RegNum src0, RegNum src1) {
+  Instruction i;
+  i.op = Op::kSfu;
+  i.dst = dst;
+  i.src0 = src0;
+  i.src1 = src1;
+  emit(i);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ld_global(RegNum dst, MemPattern pattern, Locality locality,
+                                          std::uint8_t region, std::uint32_t footprint_lines,
+                                          RegNum addr_reg) {
+  Instruction i;
+  i.op = Op::kLdGlobal;
+  i.dst = dst;
+  i.src0 = addr_reg;
+  i.pattern = pattern;
+  i.locality = locality;
+  i.region = region;
+  i.footprint_lines = footprint_lines;
+  emit(i);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::st_global(RegNum data_reg, MemPattern pattern,
+                                          Locality locality, std::uint8_t region,
+                                          std::uint32_t footprint_lines) {
+  Instruction i;
+  i.op = Op::kStGlobal;
+  i.src0 = data_reg;
+  i.pattern = pattern;
+  i.locality = locality;
+  i.region = region;
+  i.footprint_lines = footprint_lines;
+  emit(i);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ld_shared(RegNum dst, std::uint32_t smem_offset) {
+  Instruction i;
+  i.op = Op::kLdShared;
+  i.dst = dst;
+  i.smem_offset = smem_offset;
+  emit(i);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::st_shared(RegNum data_reg, std::uint32_t smem_offset) {
+  Instruction i;
+  i.op = Op::kStShared;
+  i.src0 = data_reg;
+  i.smem_offset = smem_offset;
+  emit(i);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::barrier() {
+  Instruction i;
+  i.op = Op::kBarrier;
+  emit(i);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::loop(std::uint32_t iterations,
+                                     const std::function<void(ProgramBuilder&)>& body) {
+  GRS_CHECK_MSG(!in_loop_, "nested loops are not supported");
+  GRS_CHECK(iterations >= 1);
+  close_segment(1);  // flush preceding straight-line code
+  in_loop_ = true;
+  body(*this);
+  in_loop_ = false;
+  GRS_CHECK_MSG(!current_.empty(), "empty loop body");
+  close_segment(iterations);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::alu_chain(std::uint32_t n, std::initializer_list<RegNum> ring) {
+  GRS_CHECK(ring.size() >= 1);
+  std::vector<RegNum> regs(ring);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    RegNum dst = regs[k % regs.size()];
+    RegNum src = regs[(k + regs.size() - 1) % regs.size()];
+    alu(dst, src, dst);
+  }
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  GRS_CHECK_MSG(!built_, "builder already consumed");
+  GRS_CHECK_MSG(!in_loop_, "build() inside loop body");
+  Instruction e;
+  e.op = Op::kExit;
+  emit(e);
+  close_segment(1);
+  built_ = true;
+  Program p(std::move(done_), num_regs_);
+  p.validate();
+  return p;
+}
+
+}  // namespace grs

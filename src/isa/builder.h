@@ -1,0 +1,61 @@
+// Fluent construction of kernel programs.
+//
+// Workloads (src/workloads) use this DSL to express each benchmark's
+// prologue / loop / epilogue instruction mix. The builder also supports the
+// "declaration-order" register numbering that PTXPlus exhibits (paper §IV-B,
+// Fig. 7a): registers are *declared* up front in an order unrelated to first
+// use, so early instructions may touch high register numbers — which the
+// unroll/reorder pass (isa/reorder.h) then fixes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace grs {
+
+class ProgramBuilder {
+ public:
+  /// `num_regs` — architectural registers per thread (Table II's
+  /// "Registers per thread" for the kernel being modelled).
+  explicit ProgramBuilder(RegNum num_regs);
+
+  // --- straight-line emission (into the current segment) ---------------
+  ProgramBuilder& alu(RegNum dst, RegNum src0 = kNoReg, RegNum src1 = kNoReg);
+  ProgramBuilder& sfu(RegNum dst, RegNum src0 = kNoReg, RegNum src1 = kNoReg);
+  ProgramBuilder& ld_global(RegNum dst, MemPattern pattern, Locality locality,
+                            std::uint8_t region, std::uint32_t footprint_lines,
+                            RegNum addr_reg = kNoReg);
+  ProgramBuilder& st_global(RegNum data_reg, MemPattern pattern, Locality locality,
+                            std::uint8_t region, std::uint32_t footprint_lines);
+  ProgramBuilder& ld_shared(RegNum dst, std::uint32_t smem_offset);
+  ProgramBuilder& st_shared(RegNum data_reg, std::uint32_t smem_offset);
+  ProgramBuilder& barrier();
+
+  /// Repeat `body` `iterations` times (a loop segment). Nested loops are not
+  /// supported (the cursor is single-level); express them by multiplying
+  /// iteration counts.
+  ProgramBuilder& loop(std::uint32_t iterations,
+                       const std::function<void(ProgramBuilder&)>& body);
+
+  /// Convenience: emit `n` dependent ALU ops chaining dst -> src through the
+  /// given register ring (models arithmetic intensity).
+  ProgramBuilder& alu_chain(std::uint32_t n, std::initializer_list<RegNum> ring);
+
+  /// Finish with an Exit and return the validated program.
+  [[nodiscard]] Program build();
+
+ private:
+  void emit(Instruction i);
+  void close_segment(std::uint32_t iterations);
+
+  RegNum num_regs_;
+  std::vector<Segment> done_;
+  std::vector<Instruction> current_;
+  bool in_loop_ = false;
+  bool built_ = false;
+};
+
+}  // namespace grs

@@ -1,0 +1,39 @@
+#include "isa/instruction.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace grs {
+
+RegNum Instruction::max_reg() const {
+  RegNum m = kNoReg;
+  auto consider = [&m](RegNum r) {
+    if (r == kNoReg) return;
+    if (m == kNoReg || r > m) m = r;
+  };
+  consider(dst);
+  consider(src0);
+  consider(src1);
+  return m;
+}
+
+std::string Instruction::to_text() const {
+  char buf[160];
+  auto reg = [](RegNum r) -> std::string {
+    return r == kNoReg ? std::string("-") : "$r" + std::to_string(r);
+  };
+  if (is_global_mem(op)) {
+    std::snprintf(buf, sizeof(buf), "%-10s %s, %s [%s/%s region=%u]", to_string(op),
+                  reg(dst).c_str(), reg(src0).c_str(), to_string(pattern),
+                  to_string(locality), region);
+  } else if (is_shared_mem(op)) {
+    std::snprintf(buf, sizeof(buf), "%-10s %s, smem[%u]", to_string(op), reg(dst).c_str(),
+                  smem_offset);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%-10s %s, %s, %s", to_string(op), reg(dst).c_str(),
+                  reg(src0).c_str(), reg(src1).c_str());
+  }
+  return buf;
+}
+
+}  // namespace grs

@@ -1,0 +1,105 @@
+// Opcode classes of the synthetic PTX-like kernel IR.
+//
+// The simulator is a performance model: instructions carry no data semantics,
+// only the operand *numbers* (register ids, scratchpad offsets, memory access
+// patterns) that drive timing and the sharing runtime's shared/unshared
+// classification (paper Figures 3 and 4).
+#pragma once
+
+#include <cstdint>
+
+namespace grs {
+
+enum class Op : std::uint8_t {
+  kAlu,       ///< integer/fp pipeline op (paper: SP units)
+  kSfu,       ///< special-function op (transcendental etc.)
+  kLdGlobal,  ///< global memory load
+  kStGlobal,  ///< global memory store
+  kLdShared,  ///< scratchpad load
+  kStShared,  ///< scratchpad store
+  kBarrier,   ///< __syncthreads()
+  kExit       ///< thread-block program end
+};
+
+[[nodiscard]] constexpr bool is_global_mem(Op op) {
+  return op == Op::kLdGlobal || op == Op::kStGlobal;
+}
+
+[[nodiscard]] constexpr bool is_shared_mem(Op op) {
+  return op == Op::kLdShared || op == Op::kStShared;
+}
+
+[[nodiscard]] constexpr bool is_mem(Op op) { return is_global_mem(op) || is_shared_mem(op); }
+
+[[nodiscard]] constexpr bool is_load(Op op) {
+  return op == Op::kLdGlobal || op == Op::kLdShared;
+}
+
+[[nodiscard]] constexpr const char* to_string(Op op) {
+  switch (op) {
+    case Op::kAlu: return "alu";
+    case Op::kSfu: return "sfu";
+    case Op::kLdGlobal: return "ld.global";
+    case Op::kStGlobal: return "st.global";
+    case Op::kLdShared: return "ld.shared";
+    case Op::kStShared: return "st.shared";
+    case Op::kBarrier: return "bar.sync";
+    case Op::kExit: return "exit";
+  }
+  return "?";
+}
+
+/// How a warp's 32 lanes spread a global access over cache lines.
+/// The coalescer turns one warp access into this many 128B transactions.
+enum class MemPattern : std::uint8_t {
+  kCoalesced,  ///< 1 transaction: unit-stride within the warp
+  kStrided2,   ///< 2 transactions: 2-line footprint (e.g. misaligned rows)
+  kStrided4,   ///< 4 transactions
+  kScatter8,   ///< 8 transactions: irregular, partially clustered
+  kScatter32   ///< fully divergent gather: one line per lane
+};
+
+[[nodiscard]] constexpr std::uint32_t transactions_per_access(MemPattern p) {
+  switch (p) {
+    case MemPattern::kCoalesced: return 1;
+    case MemPattern::kStrided2: return 2;
+    case MemPattern::kStrided4: return 4;
+    case MemPattern::kScatter8: return 8;
+    case MemPattern::kScatter32: return 32;
+  }
+  return 1;
+}
+
+[[nodiscard]] constexpr const char* to_string(MemPattern p) {
+  switch (p) {
+    case MemPattern::kCoalesced: return "coalesced";
+    case MemPattern::kStrided2: return "strided2";
+    case MemPattern::kStrided4: return "strided4";
+    case MemPattern::kScatter8: return "scatter8";
+    case MemPattern::kScatter32: return "scatter32";
+  }
+  return "?";
+}
+
+/// How addresses relate across loop iterations / warps: determines reuse.
+enum class Locality : std::uint8_t {
+  kStreaming,  ///< new lines every iteration (no temporal reuse)
+  kWarpLocal,  ///< per-warp sliding window (reuse if the warp stays scheduled:
+               ///< this is the pattern on which GTO-like schedulers beat LRR)
+  kBlockLocal, ///< working set shared by warps of one block (L1 reuse)
+  kGridShared, ///< read-only data shared by all blocks (L1/L2 reuse)
+  kRandom      ///< hash-distributed over a large region (mostly misses)
+};
+
+[[nodiscard]] constexpr const char* to_string(Locality l) {
+  switch (l) {
+    case Locality::kStreaming: return "streaming";
+    case Locality::kWarpLocal: return "warp-local";
+    case Locality::kBlockLocal: return "block-local";
+    case Locality::kGridShared: return "grid-shared";
+    case Locality::kRandom: return "random";
+  }
+  return "?";
+}
+
+}  // namespace grs

@@ -1,0 +1,83 @@
+// Kernel program: a loop-structured sequence of IR instructions.
+//
+// A program is a list of *segments*; each segment is a straight-line
+// instruction vector executed `iterations` times before control falls through
+// to the next segment. This models the prologue / main-loop / epilogue shape
+// of the paper's benchmark kernels without needing a branch unit (the paper's
+// mechanisms are orthogonal to control flow, see DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace grs {
+
+struct Segment {
+  std::vector<Instruction> instrs;
+  std::uint32_t iterations = 1;
+};
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Segment> segments, RegNum num_regs);
+
+  [[nodiscard]] const std::vector<Segment>& segments() const { return segments_; }
+  [[nodiscard]] RegNum num_regs() const { return num_regs_; }
+
+  /// Dynamic warp-instruction count for one full execution.
+  [[nodiscard]] std::uint64_t dynamic_length() const;
+
+  /// Static instruction count (sum of segment sizes).
+  [[nodiscard]] std::size_t static_length() const;
+
+  /// Largest scratchpad offset referenced (bytes), or 0 if none.
+  [[nodiscard]] std::uint32_t max_smem_offset() const;
+
+  /// True if any instruction is a barrier.
+  [[nodiscard]] bool has_barrier() const;
+
+  /// Abort if malformed (register numbers out of range, empty segments,
+  /// missing trailing Exit, Exit not last, zero iteration counts).
+  void validate() const;
+
+  /// Pretty-printed listing (tests, debugging).
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::vector<Segment> segments_;
+  RegNum num_regs_ = 0;
+};
+
+/// Iterates a Program one instruction at a time; the per-warp execution state.
+/// Cheap to copy; stores no pointers into the program.
+class ProgramCursor {
+ public:
+  ProgramCursor() = default;
+  explicit ProgramCursor(const Program& p);
+
+  /// nullptr when the program is exhausted.
+  [[nodiscard]] const Instruction* peek(const Program& p) const;
+
+  /// Advance past the instruction last returned by peek().
+  void advance(const Program& p);
+
+  [[nodiscard]] bool done(const Program& p) const { return seg_ >= p.segments().size(); }
+
+  /// Number of dynamic instructions already consumed.
+  [[nodiscard]] std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  void skip_empty(const Program& p);
+
+  std::size_t seg_ = 0;
+  std::uint32_t idx_ = 0;
+  std::uint32_t iter_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace grs

@@ -1,0 +1,50 @@
+#include "isa/reorder.h"
+
+#include "common/check.h"
+
+namespace grs {
+
+std::vector<RegNum> first_use_permutation(const Program& p) {
+  const RegNum n = p.num_regs();
+  std::vector<RegNum> map(n, kNoReg);
+  RegNum next = 0;
+  auto visit = [&](RegNum r) {
+    if (r == kNoReg) return;
+    if (map[r] == kNoReg) map[r] = next++;
+  };
+  // Static program order equals dynamic first-use order for first encounters:
+  // segments execute in order and iteration 1 of a loop covers its body.
+  for (const auto& s : p.segments()) {
+    for (const auto& i : s.instrs) {
+      // Source operands are "used" before the destination is written.
+      visit(i.src0);
+      visit(i.src1);
+      visit(i.dst);
+    }
+  }
+  // Unused registers keep relative order after all used ones.
+  for (RegNum r = 0; r < n; ++r)
+    if (map[r] == kNoReg) map[r] = next++;
+  GRS_CHECK(next == n);
+  return map;
+}
+
+Program reorder_registers_by_first_use(const Program& p) {
+  const std::vector<RegNum> map = first_use_permutation(p);
+  std::vector<Segment> segs = p.segments();
+  auto remap = [&map](RegNum& r) {
+    if (r != kNoReg) r = map[r];
+  };
+  for (auto& s : segs) {
+    for (auto& i : s.instrs) {
+      remap(i.dst);
+      remap(i.src0);
+      remap(i.src1);
+    }
+  }
+  Program out(std::move(segs), p.num_regs());
+  out.validate();
+  return out;
+}
+
+}  // namespace grs

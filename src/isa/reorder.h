@@ -1,0 +1,31 @@
+// Unrolling & reordering of register declarations (paper §IV-B, Fig. 7).
+//
+// In PTXPlus, vector register declarations (`.reg .u32 $r<27>`) assign
+// register numbers in declaration order, which is unrelated to first-use
+// order. Under register sharing, a *shared* register is one whose number
+// exceeds the per-warp unshared threshold Rw*t, so a non-owner warp whose
+// very first instruction touches a high-numbered register stalls immediately.
+// The paper's compile-time fix unrolls the declarations and reorders them by
+// first use, so the earliest-used registers receive the lowest numbers and
+// non-owner warps execute as far as possible before their first shared
+// access.
+//
+// Our IR equivalent: renumber every register by order of first appearance in
+// dynamic program order. This is a pure permutation — program semantics,
+// instruction mix and memory behaviour are unchanged (tested).
+#pragma once
+
+#include <vector>
+
+#include "isa/program.h"
+
+namespace grs {
+
+/// Returns the first-use permutation: result[old_reg] = new_reg. Registers
+/// never referenced keep their relative order after all referenced ones.
+[[nodiscard]] std::vector<RegNum> first_use_permutation(const Program& p);
+
+/// Apply the unroll/reorder pass: renumber registers by first use.
+[[nodiscard]] Program reorder_registers_by_first_use(const Program& p);
+
+}  // namespace grs

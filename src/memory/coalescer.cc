@@ -1,0 +1,56 @@
+#include "memory/coalescer.h"
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace grs {
+
+Addr Coalescer::region_base(std::uint8_t region) const {
+  // Disjoint 64GB windows per region id.
+  return static_cast<Addr>(region) << 36;
+}
+
+void Coalescer::expand(const Instruction& instr, const MemAccessContext& ctx,
+                       std::vector<Addr>& out) const {
+  GRS_CHECK(is_global_mem(instr.op));
+  const std::uint32_t txns = transactions_per_access(instr.pattern);
+  const Addr base = region_base(instr.region);
+  const std::uint64_t fp = instr.footprint_lines == 0 ? 1 : instr.footprint_lines;
+
+  for (std::uint32_t t = 0; t < txns; ++t) {
+    std::uint64_t line_index = 0;
+    switch (instr.locality) {
+      case Locality::kStreaming:
+        // Unit-stride per warp, fresh lines each dynamic access: a private
+        // 1M-line stripe per warp, advancing line-sequentially with the
+        // warp's memory-access stream (row-buffer friendly).
+        line_index = (ctx.warp_uid << 20) + ctx.mem_seq * txns + t;
+        break;
+      case Locality::kWarpLocal:
+        // The warp cycles over a private window of `footprint_lines` lines:
+        // reuse distance is small for a scheduler that keeps the warp
+        // running, but multiplies by the number of interleaved warps under
+        // round-robin issue.
+        line_index = (ctx.warp_uid << 12) + (ctx.mem_seq * txns + t) % fp;
+        break;
+      case Locality::kBlockLocal:
+        // Working set of `footprint_lines` lines shared by the block's
+        // warps; which line is touched varies by position in the stream.
+        line_index = (ctx.block_uid << 24) +
+                     hash_combine(ctx.mem_seq, t * 0x9E37u + instr.region) % fp;
+        break;
+      case Locality::kGridShared:
+        // Read-only table shared by the whole grid.
+        line_index = hash_combine(ctx.mem_seq * txns + t, instr.region) % fp;
+        break;
+      case Locality::kRandom:
+        // Irregular per-warp gather over a large region.
+        line_index =
+            hash_combine(hash_combine(ctx.warp_uid, ctx.mem_seq), t + instr.region) % fp;
+        break;
+    }
+    out.push_back(base + line_index * line_bytes_);
+  }
+}
+
+}  // namespace grs

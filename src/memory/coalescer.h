@@ -1,0 +1,46 @@
+// Memory-access coalescer: expands one warp global-memory instruction into
+// its 128B line transactions, with addresses synthesized from the
+// instruction's pattern/locality descriptor.
+//
+// Address synthesis is the bridge between the synthetic kernel IR and the
+// cache hierarchy: it is deterministic (counter-based hashing, common/prng.h)
+// and chosen so each Locality produces the reuse behaviour its name implies
+// (see isa/opcode.h). Regions are disjoint 64GB windows, so distinct data
+// structures never alias.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace grs {
+
+/// Identifies which warp executes the access and where it is in its
+/// instruction stream; all address synthesis keys off these.
+struct MemAccessContext {
+  std::uint64_t warp_uid = 0;   ///< globally unique warp id (grid-wide)
+  std::uint64_t block_uid = 0;  ///< globally unique block id (grid-wide)
+  /// Index of this access in the warp's *global-memory* instruction stream.
+  /// Streaming patterns advance line-sequentially in this counter, which is
+  /// what gives a streaming warp its DRAM row-buffer locality.
+  std::uint64_t mem_seq = 0;
+};
+
+class Coalescer {
+ public:
+  explicit Coalescer(std::uint32_t line_bytes) : line_bytes_(line_bytes) {}
+
+  /// Append the line addresses of every transaction for `instr` to `out`.
+  /// The transaction count is transactions_per_access(instr.pattern).
+  void expand(const Instruction& instr, const MemAccessContext& ctx,
+              std::vector<Addr>& out) const;
+
+ private:
+  [[nodiscard]] Addr region_base(std::uint8_t region) const;
+
+  std::uint32_t line_bytes_;
+};
+
+}  // namespace grs

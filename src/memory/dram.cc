@@ -1,0 +1,49 @@
+#include "memory/dram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace grs {
+
+Dram::Dram(const DramConfig& cfg, std::uint32_t line_bytes)
+    : cfg_(cfg), line_bytes_(line_bytes) {
+  GRS_CHECK(cfg.num_channels >= 1 && cfg.banks_per_channel >= 1);
+  GRS_CHECK(cfg.row_bytes >= line_bytes_);
+  banks_.resize(static_cast<std::size_t>(cfg.num_channels) * cfg.banks_per_channel);
+}
+
+std::size_t Dram::bank_index(Addr line_addr) const {
+  // Channel from low line bits (spread consecutive lines over channels),
+  // bank from bits above the row (consecutive rows hit the same bank less).
+  const std::uint64_t line = line_addr / line_bytes_;
+  const std::size_t channel = line % cfg_.num_channels;
+  const std::uint64_t row = line_addr / cfg_.row_bytes;
+  const std::size_t bank = row % cfg_.banks_per_channel;
+  return channel * cfg_.banks_per_channel + bank;
+}
+
+Cycle Dram::request(Addr line_addr, Cycle now) {
+  ++requests;
+  Bank& b = banks_[bank_index(line_addr)];
+  const std::uint64_t row = line_addr / cfg_.row_bytes;
+
+  bool hit = false;
+  for (std::size_t i = 0; i < b.recent_rows.size(); ++i) {
+    if (b.recent_rows[i] == row) {
+      hit = true;
+      b.recent_rows.erase(b.recent_rows.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  b.recent_rows.insert(b.recent_rows.begin(), row);
+  if (b.recent_rows.size() > cfg_.row_window) b.recent_rows.pop_back();
+
+  if (hit) ++row_hits;
+  const Cycle begin = std::max(now, b.next_free);
+  const Cycle service = hit ? cfg_.row_hit_service : cfg_.row_miss_service;
+  b.next_free = begin + service;
+  return begin + service + cfg_.base_latency;
+}
+
+}  // namespace grs

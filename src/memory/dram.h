@@ -1,0 +1,45 @@
+// Coarse GDDR timing model: channels x banks, open-row policy.
+//
+// Approximates FR-FCFS the way the paper's results consume it: row-buffer
+// hits occupy the bank for a short service window, row misses pay
+// precharge+activate and occupy it longer, and requests to a busy bank queue
+// behind it. A flat base latency models command/data transit and the
+// interconnect return path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace grs {
+
+class Dram {
+ public:
+  explicit Dram(const DramConfig& cfg, std::uint32_t line_bytes);
+
+  /// Issue one line fetch first observed at `now`; returns data-ready cycle.
+  [[nodiscard]] Cycle request(Addr line_addr, Cycle now);
+
+  [[nodiscard]] const DramConfig& config() const { return cfg_; }
+
+  std::uint64_t requests = 0;
+  std::uint64_t row_hits = 0;
+
+ private:
+  struct Bank {
+    /// Most-recently-touched rows, LRU order (front = most recent). Acts as
+    /// the FR-FCFS reorder window: see DramConfig::row_window.
+    std::vector<std::uint64_t> recent_rows;
+    Cycle next_free = 0;
+  };
+
+  [[nodiscard]] std::size_t bank_index(Addr line_addr) const;
+
+  DramConfig cfg_;
+  std::uint32_t line_bytes_;
+  std::vector<Bank> banks_;
+};
+
+}  // namespace grs

@@ -1,0 +1,64 @@
+#include "memory/memsys.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace grs {
+
+namespace {
+/// L2 pipeline (tag + data array) latency.
+constexpr Cycle kL2Pipe = 40;
+}  // namespace
+
+MemorySystem::MemorySystem(const GpuConfig& cfg)
+    : cfg_(cfg), dram_(cfg.dram, cfg.l2.line_bytes) {
+  cfg_.validate();
+  // One L2 bank per DRAM channel keeps addressing aligned and gives the
+  // 768KB cache (Table I) a realistic amount of request parallelism.
+  const std::uint32_t n_banks = cfg.dram.num_channels;
+  CacheConfig per_bank = cfg.l2;
+  per_bank.size_bytes = cfg.l2.size_bytes / n_banks;
+  per_bank.mshr_entries = std::max<std::uint32_t>(1, cfg.l2.mshr_entries / n_banks);
+  banks_.reserve(n_banks);
+  for (std::uint32_t b = 0; b < n_banks; ++b) banks_.emplace_back(per_bank);
+}
+
+Cycle MemorySystem::access(Addr line_addr, Cycle now) {
+  // Interconnect transit, each way.
+  const Cycle transit = (cfg_.l2_hit_latency - kL2Pipe) / 2;
+
+  const std::uint64_t line = line_addr / cfg_.l2.line_bytes;
+  L2Bank& bank = banks_[line % banks_.size()];
+
+  const Cycle arrive = now + transit;
+  const Cycle start = std::max(arrive, bank.next_free);
+  bank.next_free = start + kBankOccupancy;
+
+  const Cache::LookupResult r = bank.tags.lookup(line_addr, start);
+  if (r.hit) return start + kL2Pipe + transit;
+  if (r.mshr_merge) {
+    // Data arrives at the L2 at r.ready; serve after both that and our
+    // own pipeline slot.
+    return std::max(start + kL2Pipe, r.ready) + transit;
+  }
+
+  // Primary miss (or MSHR full: bypass without fill).
+  const Cycle dram_ready = dram_.request(line_addr, start + kL2Pipe);
+  if (!r.mshr_full) bank.tags.fill_inflight(line_addr, dram_ready);
+  return dram_ready + transit;
+}
+
+std::uint64_t MemorySystem::l2_accesses() const {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b.tags.accesses;
+  return n;
+}
+
+std::uint64_t MemorySystem::l2_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b.tags.misses;
+  return n;
+}
+
+}  // namespace grs

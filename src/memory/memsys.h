@@ -1,0 +1,48 @@
+// The GPU-shared part of the memory hierarchy: banked L2 in front of DRAM.
+//
+// SMs present line-granular transactions (already coalesced and filtered by
+// their private L1). Each L2 bank serializes accesses (queue modelled by a
+// next-free cycle), merges in-flight misses per line, and forwards primary
+// misses to DRAM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "memory/cache.h"
+#include "memory/dram.h"
+
+namespace grs {
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const GpuConfig& cfg);
+
+  /// One L1-miss transaction first observed at `now`; returns data-ready
+  /// cycle at the SM. Deterministic in call order.
+  [[nodiscard]] Cycle access(Addr line_addr, Cycle now);
+
+  // -- stats -------------------------------------------------------------
+  [[nodiscard]] std::uint64_t l2_accesses() const;
+  [[nodiscard]] std::uint64_t l2_misses() const;
+  [[nodiscard]] std::uint64_t dram_requests() const { return dram_.requests; }
+  [[nodiscard]] std::uint64_t dram_row_hits() const { return dram_.row_hits; }
+
+ private:
+  struct L2Bank {
+    explicit L2Bank(const CacheConfig& c) : tags(c) {}
+    Cache tags;
+    Cycle next_free = 0;
+  };
+
+  GpuConfig cfg_;
+  std::vector<L2Bank> banks_;
+  Dram dram_;
+  /// Cycles an L2 bank is occupied per transaction.
+  static constexpr Cycle kBankOccupancy = 2;
+};
+
+}  // namespace grs

@@ -1,0 +1,5 @@
+#include "sm/block.h"
+
+namespace grs {
+static_assert(sizeof(ResidentBlock) <= 64, "ResidentBlock should stay small");
+}  // namespace grs

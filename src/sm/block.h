@@ -1,0 +1,28 @@
+// Per-resident-thread-block state.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace grs {
+
+struct ResidentBlock {
+  bool active = false;
+  std::uint64_t block_uid = 0;  ///< grid-global block id
+  std::uint32_t num_warps = 0;
+  std::uint32_t first_warp_slot = 0;
+
+  /// Sharing-pair membership: pair index within the SM, or -1 for an
+  /// unshared block; side is 0/1 within the pair.
+  int pair_id = -1;
+  int side = -1;
+
+  std::uint32_t warps_exited = 0;
+  std::uint32_t barrier_arrived = 0;
+
+  [[nodiscard]] bool finished() const { return active && warps_exited == num_warps; }
+  [[nodiscard]] bool is_shared() const { return pair_id >= 0; }
+};
+
+}  // namespace grs

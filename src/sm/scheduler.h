@@ -1,0 +1,72 @@
+// Warp scheduling policies (paper §II, §IV-A, §VI).
+//
+// Each SM runs `num_schedulers` independent scheduler instances; warps are
+// statically assigned by slot parity. Every cycle the SM hands a scheduler
+// the list of its warps that are *issuable* this cycle and the scheduler
+// picks one according to its policy:
+//
+//   LRR       loose round-robin over warp slots (GPGPU-Sim baseline).
+//   GTO       greedy-then-oldest: stay on the last issued warp while it is
+//             issuable, else the oldest (smallest dynamic id).
+//   Two-Level fetch groups of `group_size` warps; round-robin inside the
+//             active group; switch groups when the active group has nothing
+//             to issue (Narasiman et al.).
+//   OWF       owner-warp-first (the paper's policy): strict class priority
+//             shared-owner > unshared > shared-non-owner, GTO order within
+//             a class. With no shared blocks resident all warps are
+//             unshared and OWF degenerates to GTO (paper §VI-B.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace grs {
+
+/// One issuable warp as seen by the scheduler.
+struct SchedCandidate {
+  std::uint32_t slot = 0;      ///< warp slot within the SM
+  std::uint64_t age = 0;       ///< dynamic id (smaller = older)
+  WarpClass cls = WarpClass::kUnshared;
+};
+
+class WarpScheduler {
+ public:
+  WarpScheduler(SchedulerKind kind, std::uint32_t total_slots, std::uint32_t group_size);
+
+  /// Pick one of `cands` (non-empty, sorted by slot ascending). Returns an
+  /// index into `cands` and updates policy state.
+  [[nodiscard]] std::size_t select(const std::vector<SchedCandidate>& cands);
+
+  [[nodiscard]] SchedulerKind kind() const { return kind_; }
+
+ private:
+  [[nodiscard]] std::size_t select_lrr(const std::vector<SchedCandidate>& cands);
+  [[nodiscard]] std::size_t select_gto(const std::vector<SchedCandidate>& cands);
+  [[nodiscard]] std::size_t select_two_level(const std::vector<SchedCandidate>& cands);
+  [[nodiscard]] std::size_t select_owf(const std::vector<SchedCandidate>& cands);
+
+  [[nodiscard]] static std::size_t oldest_index(const std::vector<SchedCandidate>& cands,
+                                                std::size_t begin, std::size_t end);
+
+  SchedulerKind kind_;
+  std::uint32_t total_slots_;
+  std::uint32_t group_size_;
+
+  std::uint32_t last_slot_ = 0;     ///< LRR position
+  std::uint32_t greedy_slot_ = kInvalidSlot;  ///< GTO / OWF sticky warp
+  std::uint32_t active_group_ = 0;  ///< Two-Level
+};
+
+/// Priority rank for OWF (lower issues first).
+[[nodiscard]] constexpr int owf_rank(WarpClass c) {
+  switch (c) {
+    case WarpClass::kSharedOwner: return 0;
+    case WarpClass::kUnshared: return 1;
+    case WarpClass::kSharedNonOwner: return 2;
+  }
+  return 3;
+}
+
+}  // namespace grs

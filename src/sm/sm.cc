@@ -1,0 +1,419 @@
+#include "sm/sm.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace grs {
+
+StreamingMultiprocessor::StreamingMultiprocessor(SmId id, const GpuConfig& cfg,
+                                                 const Program& program,
+                                                 const KernelResources& res,
+                                                 const Occupancy& occ,
+                                                 std::uint32_t active_lanes,
+                                                 MemorySystem& memsys,
+                                                 const DynThrottle* dyn)
+    : id_(id),
+      cfg_(cfg),
+      program_(&program),
+      res_(res),
+      occ_(occ),
+      kernel_active_lanes_(active_lanes),
+      memsys_(&memsys),
+      dyn_(dyn),
+      l1_(cfg.l1),
+      coalescer_(cfg.l1.line_bytes),
+      warps_per_block_(res.warps_per_block(cfg.warp_size)) {
+  GRS_CHECK_MSG(program.num_regs() <= 64, "scoreboard supports at most 64 registers/thread");
+  GRS_CHECK(occ.total_blocks >= 1);
+  GRS_CHECK(occ.total_blocks * warps_per_block_ <= cfg.max_warps_per_sm());
+  warps_.resize(static_cast<std::size_t>(occ.total_blocks) * warps_per_block_);
+  blocks_.resize(occ.total_blocks);
+  pairs_.reserve(occ.shared_pairs);
+  for (std::uint32_t p = 0; p < occ.shared_pairs; ++p) pairs_.emplace_back(warps_per_block_);
+  schedulers_.reserve(cfg.num_schedulers);
+  for (std::uint32_t s = 0; s < cfg.num_schedulers; ++s)
+    schedulers_.emplace_back(cfg.scheduler, static_cast<std::uint32_t>(warps_.size()),
+                             cfg.two_level_group_size);
+  cands_.reserve(warps_.size());
+  txns_.reserve(32);
+}
+
+int StreamingMultiprocessor::pair_owner_side(std::uint32_t pair_id) const {
+  GRS_CHECK(pair_id < pairs_.size());
+  return pairs_[pair_id].owner_side;
+}
+
+WarpClass StreamingMultiprocessor::classify(const Warp& w) const {
+  const ResidentBlock& b = blocks_[w.block];
+  if (!b.is_shared()) return WarpClass::kUnshared;
+  const PairState& p = pairs_[b.pair_id];
+  return p.owner_side == b.side ? WarpClass::kSharedOwner : WarpClass::kSharedNonOwner;
+}
+
+void StreamingMultiprocessor::launch_block(BlockSlot slot, std::uint64_t block_uid) {
+  GRS_CHECK(slot < blocks_.size());
+  ResidentBlock& b = blocks_[slot];
+  GRS_CHECK_MSG(!b.active, "launch into an occupied block slot");
+
+  b = ResidentBlock{};
+  b.active = true;
+  b.block_uid = block_uid;
+  b.num_warps = warps_per_block_;
+  b.first_warp_slot = slot * warps_per_block_;
+
+  if (slot >= occ_.unshared_blocks) {
+    b.pair_id = static_cast<int>((slot - occ_.unshared_blocks) / 2);
+    b.side = static_cast<int>((slot - occ_.unshared_blocks) % 2);
+    PairState& p = pairs_[b.pair_id];
+    p.locks.on_block_replace(b.side);
+    // First occupant of an empty pair owns the shared pool.
+    if (p.owner_side == PairLockState::kNoSide) p.owner_side = b.side;
+  }
+
+  const std::uint32_t tail_threads = res_.threads_per_block % cfg_.warp_size;
+  for (std::uint32_t i = 0; i < warps_per_block_; ++i) {
+    Warp& w = warps_[b.first_warp_slot + i];
+    GRS_CHECK(!w.active);
+    w.reset();
+    w.active = true;
+    w.pos_in_block = i;
+    w.block = slot;
+    w.warp_uid = block_uid * warps_per_block_ + i;
+    w.dynamic_id = next_dynamic_id_++;
+    w.cursor = ProgramCursor(*program_);
+    w.active_lanes = kernel_active_lanes_;
+    if (i + 1 == warps_per_block_ && tail_threads != 0)
+      w.active_lanes = std::min(w.active_lanes, tail_threads);
+  }
+
+  ++resident_blocks_;
+  resident_warps_ += warps_per_block_;
+  ++stats_.blocks_launched;
+  stats_.max_resident_blocks = std::max(stats_.max_resident_blocks, resident_blocks_);
+  stats_.max_resident_warps = std::max(stats_.max_resident_warps, resident_warps_);
+}
+
+void StreamingMultiprocessor::drain_events(Cycle now) {
+  while (!events_.empty() && events_.top().cycle <= now) {
+    const Event e = events_.top();
+    events_.pop();
+    Warp& w = warps_[e.slot];
+    w.pending_writes &= ~e.dst_mask;
+    GRS_CHECK(w.inflight > 0);
+    --w.inflight;
+    if (e.mem) {
+      GRS_CHECK(lsu_inflight_ > 0);
+      --lsu_inflight_;
+    }
+  }
+}
+
+bool StreamingMultiprocessor::needs_reg_lock(const ResidentBlock& b,
+                                             const Instruction& ins) const {
+  if (!b.is_shared() || cfg_.sharing.resource != Resource::kRegisters) return false;
+  const RegNum m = ins.max_reg();
+  return m != kNoReg && m >= occ_.unshared_regs_per_thread;
+}
+
+bool StreamingMultiprocessor::needs_smem_lock(const ResidentBlock& b,
+                                              const Instruction& ins) const {
+  if (!b.is_shared() || cfg_.sharing.resource != Resource::kScratchpad) return false;
+  return is_shared_mem(ins.op) && ins.smem_offset >= occ_.unshared_smem_bytes;
+}
+
+void StreamingMultiprocessor::acquire_with_ownership(PairState& p, int side, bool reg,
+                                                     std::uint32_t pos) {
+  // Paper §IV-A: the block whose warps enter the shared region first becomes
+  // the owner block (a waiting partner then "waits for shared resources from
+  // the owner").
+  const bool first_lock = p.locks.locked_side() == PairLockState::kNoSide;
+  bool newly = false;
+  if (reg) {
+    newly = !p.locks.reg_held(side, pos);
+    p.locks.reg_acquire(side, pos);
+  } else {
+    newly = p.locks.smem_holder() != side;
+    p.locks.smem_acquire(side);
+  }
+  if (newly) {
+    ++stats_.lock_acquisitions;
+    if (first_lock) {
+      // First access to the shared pool in this pair epoch: the accessing
+      // block becomes the owner and is entitled to the pool (paper §III).
+      p.owner_side = side;
+      p.locks.set_entitled(side);
+    }
+  }
+}
+
+void StreamingMultiprocessor::step(Cycle now) {
+  drain_events(now);
+  l1_.drain(now);
+  lsu_port_ = 0;
+  sfu_port_ = 0;
+  for (std::uint32_t s = 0; s < schedulers_.size(); ++s) run_scheduler(s, now);
+}
+
+void StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
+  cands_.clear();
+  bool saw_stall = false;
+
+  const auto n_sched = static_cast<std::uint32_t>(schedulers_.size());
+  for (std::uint32_t slot = sched_id; slot < warps_.size(); slot += n_sched) {
+    Warp& w = warps_[slot];
+    if (!w.live()) continue;
+    if (w.at_barrier) {  // synchronization wait -> idle class
+      ++stats_.blocked_barrier;
+      continue;
+    }
+
+    const Instruction* ins = w.cursor.peek(*program_);
+    GRS_CHECK_MSG(ins != nullptr, "live warp with exhausted program");
+
+    // Scoreboard: RAW/WAW on in-flight results -> dependency wait (idle class).
+    if ((w.pending_writes & hazard_mask(*ins)) != 0) {
+      ++stats_.blocked_scoreboard;
+      continue;
+    }
+    if (ins->op == Op::kExit && w.inflight != 0) continue;  // drain before exit
+
+    const ResidentBlock& b = blocks_[w.block];
+
+    // Sharing locks (paper Fig. 3/4 step (d)-(e)): the warp busy-waits; like
+    // a scoreboard dependency it is "not ready", so a cycle with only
+    // lock-blocked warps counts as idle, not as a pipeline stall.
+    if (needs_reg_lock(b, *ins) &&
+        !pairs_[b.pair_id].locks.reg_can_acquire(b.side, w.pos_in_block)) {
+      ++stats_.lock_wait_cycles;
+      continue;
+    }
+    if (needs_smem_lock(b, *ins) && !pairs_[b.pair_id].locks.smem_can_acquire(b.side)) {
+      ++stats_.lock_wait_cycles;
+      continue;
+    }
+
+    const WarpClass cls = classify(w);
+
+    // Dynamic warp execution gate (paper §IV-C): suppressed issue, also
+    // "not ready" this cycle.
+    if (dyn_ != nullptr && dyn_->enabled() && is_global_mem(ins->op) &&
+        cls == WarpClass::kSharedNonOwner && !dyn_->allow(id_, now, w.warp_uid)) {
+      ++stats_.dyn_throttled_issues;
+      continue;
+    }
+
+    // Structural hazards -> stall class.
+    if (is_mem(ins->op)) {
+      if (lsu_port_ >= cfg_.lsu_issue_per_cycle) {
+        saw_stall = true;
+        ++stats_.blocked_lsu_port;
+        continue;
+      }
+      if (lsu_inflight_ >= cfg_.lsu_max_inflight) {
+        saw_stall = true;
+        ++stats_.blocked_lsu_inflight;
+        continue;
+      }
+      if (ins->op == Op::kLdGlobal) {  // stores bypass the MSHR (no-allocate)
+        const std::uint32_t txns = transactions_per_access(ins->pattern);
+        if (l1_.inflight() + txns > cfg_.l1.mshr_entries) {
+          saw_stall = true;
+          ++stats_.blocked_mshr;
+          continue;
+        }
+      }
+    } else if (ins->op == Op::kSfu && sfu_port_ >= cfg_.sfu_issue_per_cycle) {
+      saw_stall = true;
+      ++stats_.blocked_sfu_port;
+      continue;
+    }
+
+    cands_.push_back(SchedCandidate{slot, w.dynamic_id, cls});
+  }
+
+  if (cands_.empty()) {
+    if (saw_stall) {
+      ++stats_.stall_cycles;
+    } else {
+      ++stats_.idle_cycles;
+    }
+    return;
+  }
+
+  const std::size_t pick = schedulers_[sched_id].select(cands_);
+  Warp& w = warps_[cands_[pick].slot];
+  const Instruction ins = *w.cursor.peek(*program_);
+  issue(w, ins, now);
+  ++stats_.issued_cycles;
+  ++stats_.warp_instructions;
+  stats_.thread_instructions += w.active_lanes;
+}
+
+void StreamingMultiprocessor::issue(Warp& w, const Instruction& ins, Cycle now) {
+  ResidentBlock& b = blocks_[w.block];
+
+  // Take sharing locks (legality was established during candidate scan).
+  if (needs_reg_lock(b, ins))
+    acquire_with_ownership(pairs_[b.pair_id], b.side, /*reg=*/true, w.pos_in_block);
+  if (needs_smem_lock(b, ins))
+    acquire_with_ownership(pairs_[b.pair_id], b.side, /*reg=*/false, 0);
+
+  w.cursor.advance(*program_);
+
+  switch (ins.op) {
+    case Op::kAlu: {
+      events_.push(Event{now + cfg_.alu_latency, warp_slot_of(w), reg_bit(ins.dst), false});
+      w.pending_writes |= reg_bit(ins.dst);
+      ++w.inflight;
+      break;
+    }
+    case Op::kSfu: {
+      ++sfu_port_;
+      events_.push(Event{now + cfg_.sfu_latency, warp_slot_of(w), reg_bit(ins.dst), false});
+      w.pending_writes |= reg_bit(ins.dst);
+      ++w.inflight;
+      break;
+    }
+    case Op::kLdShared:
+    case Op::kStShared: {
+      ++lsu_port_;
+      ++lsu_inflight_;
+      events_.push(
+          Event{now + cfg_.scratchpad_latency, warp_slot_of(w), reg_bit(ins.dst), true});
+      w.pending_writes |= reg_bit(ins.dst);
+      ++w.inflight;
+      break;
+    }
+    case Op::kLdGlobal:
+    case Op::kStGlobal: {
+      ++lsu_port_;
+      do_global_access(w, ins, now);
+      break;
+    }
+    case Op::kBarrier: {
+      w.at_barrier = true;
+      ++b.barrier_arrived;
+      release_barrier_if_complete(b);
+      break;
+    }
+    case Op::kExit: {
+      handle_exit(w);
+      break;
+    }
+  }
+}
+
+void StreamingMultiprocessor::do_global_access(Warp& w, const Instruction& ins, Cycle now) {
+  txns_.clear();
+  const MemAccessContext ctx{w.warp_uid, blocks_[w.block].block_uid, w.mem_seq};
+  ++w.mem_seq;
+  coalescer_.expand(ins, ctx, txns_);
+
+  Cycle completion = now + cfg_.l1_hit_latency;
+  if (ins.op == Op::kStGlobal) {
+    // Write-through, no-allocate, fire-and-forget: the store consumes L2 and
+    // DRAM bandwidth but the warp only waits for the write-queue handoff
+    // (GPGPU-Sim models global stores the same way).
+    for (const Addr line : txns_) {
+      const Cache::LookupResult r = l1_.lookup(line, now);
+      if (!r.hit && !r.mshr_merge && !r.mshr_full) {
+        (void)memsys_->access(line, now);  // bandwidth/occupancy only
+      }
+    }
+  } else {
+    for (const Addr line : txns_) {
+      const Cache::LookupResult r = l1_.lookup(line, now);
+      GRS_CHECK_MSG(!r.mshr_full, "MSHR availability was pre-checked for loads");
+      Cycle t;
+      if (r.hit) {
+        t = now + cfg_.l1_hit_latency;
+      } else if (r.mshr_merge) {
+        t = std::max(r.ready, now + cfg_.l1_hit_latency);
+      } else {
+        t = memsys_->access(line, now);
+        l1_.fill_inflight(line, t);
+      }
+      completion = std::max(completion, t);
+    }
+  }
+
+  ++lsu_inflight_;
+  events_.push(Event{completion, warp_slot_of(w), reg_bit(ins.dst), true});
+  w.pending_writes |= reg_bit(ins.dst);
+  ++w.inflight;
+}
+
+void StreamingMultiprocessor::release_barrier_if_complete(ResidentBlock& b) {
+  if (b.barrier_arrived == 0) return;
+  if (b.barrier_arrived + b.warps_exited != b.num_warps) return;
+  for (std::uint32_t i = 0; i < b.num_warps; ++i) warps_[b.first_warp_slot + i].at_barrier = false;
+  b.barrier_arrived = 0;
+}
+
+void StreamingMultiprocessor::handle_exit(Warp& w) {
+  GRS_CHECK(w.inflight == 0 && w.pending_writes == 0);
+  w.exited = true;
+  ResidentBlock& b = blocks_[w.block];
+  ++b.warps_exited;
+  GRS_CHECK(resident_warps_ > 0);
+  --resident_warps_;
+
+  if (b.is_shared() && cfg_.sharing.resource == Resource::kRegisters) {
+    // Shared registers release when their holder warp finishes (paper §III-A).
+    pairs_[b.pair_id].locks.reg_release_on_warp_finish(b.side, w.pos_in_block);
+  }
+
+  // An exited warp counts as arrived at any barrier the rest are waiting on.
+  release_barrier_if_complete(b);
+
+  if (b.finished()) finish_block(w.block);
+}
+
+void StreamingMultiprocessor::finish_block(BlockSlot bs) {
+  ResidentBlock& b = blocks_[bs];
+  GRS_CHECK(b.finished());
+  b.active = false;
+  GRS_CHECK(resident_blocks_ > 0);
+  --resident_blocks_;
+  ++stats_.blocks_finished;
+
+  for (std::uint32_t i = 0; i < b.num_warps; ++i) warps_[b.first_warp_slot + i].active = false;
+
+  if (b.is_shared()) {
+    PairState& p = pairs_[b.pair_id];
+    p.locks.on_block_finish(b.side);
+    // Ownership transfer (paper §IV-A): the surviving partner becomes the
+    // owner; if the pair is now empty, the next launch re-seeds ownership.
+    const BlockSlot partner_slot = occ_.unshared_blocks +
+                                   static_cast<std::uint32_t>(b.pair_id) * 2 +
+                                   static_cast<std::uint32_t>(1 - b.side);
+    if (blocks_[partner_slot].active) {
+      if (p.owner_side == b.side) {
+        // Transfer ownership to the survivor and entitle it to the shared
+        // pool, so the replacement block launched into this slot cannot win
+        // the lock race against the resumed partner (paper §IV-A).
+        p.owner_side = 1 - b.side;
+        p.locks.set_entitled(p.owner_side);
+        ++stats_.ownership_transfers;
+      }
+    } else {
+      p.owner_side = PairLockState::kNoSide;
+    }
+  }
+
+  if (on_block_finish_) on_block_finish_(id_, bs);
+}
+
+bool StreamingMultiprocessor::drained() const {
+  return resident_blocks_ == 0 && events_.empty();
+}
+
+const SmStats& StreamingMultiprocessor::finalize_stats() {
+  stats_.l1_accesses = l1_.accesses;
+  stats_.l1_misses = l1_.misses;
+  stats_.l1_mshr_merges = l1_.merges;
+  return stats_;
+}
+
+}  // namespace grs

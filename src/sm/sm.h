@@ -1,0 +1,141 @@
+// Streaming Multiprocessor: the per-core cycle model.
+//
+// Owns the resident warps and thread blocks, the private L1 data cache, the
+// warp schedulers, and the sharing-pair lock/ownership state. Each cycle
+// (`step`) it retires completed instructions and lets each scheduler issue at
+// most one instruction from its highest-priority ready warp, classifying the
+// cycle as issued / stall / idle (see common/stats.h for the definitions).
+//
+// The sharing runtime hooks live exactly where the paper puts them:
+//  * issue-time register classification per Fig. 3 (unshared warp? RegNo
+//    below threshold? lock acquired?);
+//  * issue-time scratchpad classification per Fig. 4;
+//  * ownership transfer and non-owner relaunch at block finish (§IV-A);
+//  * the Dyn gate in front of non-owner global-memory issues (§IV-C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/dyn_throttle.h"
+#include "core/locks.h"
+#include "core/occupancy.h"
+#include "isa/program.h"
+#include "memory/cache.h"
+#include "memory/coalescer.h"
+#include "memory/memsys.h"
+#include "sm/block.h"
+#include "sm/scheduler.h"
+#include "sm/warp.h"
+
+namespace grs {
+
+class StreamingMultiprocessor {
+ public:
+  /// Invoked when a resident block finishes, so the dispatcher can refill
+  /// the slot. Called after ownership transfer has been applied.
+  using BlockFinishFn = std::function<void(SmId, BlockSlot)>;
+
+  StreamingMultiprocessor(SmId id, const GpuConfig& cfg, const Program& program,
+                          const KernelResources& res, const Occupancy& occ,
+                          std::uint32_t active_lanes, MemorySystem& memsys,
+                          const DynThrottle* dyn);
+
+  void set_block_finish_callback(BlockFinishFn fn) { on_block_finish_ = std::move(fn); }
+
+  /// Install a new block into `slot` (mapping: slots [0, U) are unshared,
+  /// slots U+2p and U+2p+1 are the two sides of pair p).
+  void launch_block(BlockSlot slot, std::uint64_t block_uid);
+
+  /// Advance one GPU cycle.
+  void step(Cycle now);
+
+  /// True when no blocks are resident and no instructions are in flight.
+  [[nodiscard]] bool drained() const;
+
+  /// Copy the L1 counters into the stats block and return it.
+  [[nodiscard]] const SmStats& finalize_stats();
+
+  [[nodiscard]] const SmStats& stats() const { return stats_; }
+  [[nodiscard]] SmId id() const { return id_; }
+  [[nodiscard]] const Occupancy& occupancy() const { return occ_; }
+  [[nodiscard]] std::uint32_t resident_blocks() const { return resident_blocks_; }
+
+  // --- introspection for tests -------------------------------------------
+  [[nodiscard]] const ResidentBlock& block(BlockSlot s) const { return blocks_[s]; }
+  [[nodiscard]] const Warp& warp(std::uint32_t slot) const { return warps_[slot]; }
+  [[nodiscard]] int pair_owner_side(std::uint32_t pair_id) const;
+  [[nodiscard]] WarpClass classify(const Warp& w) const;
+  [[nodiscard]] std::uint32_t warps_per_block() const { return warps_per_block_; }
+
+ private:
+  struct PairState {
+    explicit PairState(std::uint32_t warp_positions) : locks(warp_positions) {}
+    int owner_side = PairLockState::kNoSide;
+    PairLockState locks;
+  };
+
+  struct Event {
+    Cycle cycle = 0;
+    std::uint32_t slot = 0;
+    std::uint64_t dst_mask = 0;
+    bool mem = false;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const { return a.cycle > b.cycle; }
+  };
+
+  void drain_events(Cycle now);
+  void run_scheduler(std::uint32_t sched_id, Cycle now);
+  void issue(Warp& w, const Instruction& ins, Cycle now);
+  void do_global_access(Warp& w, const Instruction& ins, Cycle now);
+  void handle_exit(Warp& w);
+  void finish_block(BlockSlot bs);
+  void release_barrier_if_complete(ResidentBlock& b);
+  [[nodiscard]] bool needs_reg_lock(const ResidentBlock& b, const Instruction& ins) const;
+  [[nodiscard]] bool needs_smem_lock(const ResidentBlock& b, const Instruction& ins) const;
+  void acquire_with_ownership(PairState& p, int side, bool reg, std::uint32_t pos);
+  [[nodiscard]] std::uint32_t warp_slot_of(const Warp& w) const {
+    return static_cast<std::uint32_t>(&w - warps_.data());
+  }
+
+  SmId id_;
+  GpuConfig cfg_;
+  const Program* program_;
+  KernelResources res_;
+  Occupancy occ_;
+  std::uint32_t kernel_active_lanes_;
+  MemorySystem* memsys_;
+  const DynThrottle* dyn_;
+
+  Cache l1_;
+  Coalescer coalescer_;
+
+  std::uint32_t warps_per_block_;
+  std::vector<Warp> warps_;          ///< total_blocks * warps_per_block slots
+  std::vector<ResidentBlock> blocks_;
+  std::vector<PairState> pairs_;
+  std::vector<WarpScheduler> schedulers_;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events_;
+  std::uint32_t lsu_inflight_ = 0;
+  std::uint32_t lsu_port_ = 0;  ///< per-cycle issue-port counters
+  std::uint32_t sfu_port_ = 0;
+  std::uint64_t next_dynamic_id_ = 0;
+  std::uint32_t resident_blocks_ = 0;
+  std::uint32_t resident_warps_ = 0;
+
+  SmStats stats_;
+  BlockFinishFn on_block_finish_;
+
+  // scratch buffers (avoid per-cycle allocation)
+  std::vector<SchedCandidate> cands_;
+  std::vector<Addr> txns_;
+};
+
+}  // namespace grs

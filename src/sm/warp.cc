@@ -1,0 +1,7 @@
+#include "sm/warp.h"
+
+// Warp is a plain aggregate; this TU exists so the header stays in the build
+// graph and static_asserts run once.
+namespace grs {
+static_assert(sizeof(Warp) <= 128, "Warp should stay cache-friendly");
+}  // namespace grs

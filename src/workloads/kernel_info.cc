@@ -1,0 +1,19 @@
+#include "workloads/kernel_info.h"
+
+#include "common/check.h"
+
+namespace grs {
+
+void KernelInfo::validate() const {
+  GRS_CHECK_MSG(!name.empty(), "kernel needs a name");
+  GRS_CHECK(resources.threads_per_block >= 1);
+  GRS_CHECK(grid_blocks >= 1);
+  GRS_CHECK(active_lanes >= 1 && active_lanes <= 32);
+  program.validate();
+  GRS_CHECK_MSG(program.num_regs() == resources.regs_per_thread,
+                "program register count must match the kernel's declared demand");
+  GRS_CHECK_MSG(program.max_smem_offset() < std::max<std::uint32_t>(resources.smem_per_block, 1),
+                "program touches scratchpad beyond the block's allocation");
+}
+
+}  // namespace grs

@@ -1,0 +1,106 @@
+// Dynamic warp execution controller (paper §IV-C).
+#include <gtest/gtest.h>
+
+#include "core/dyn_throttle.h"
+
+namespace grs {
+namespace {
+
+SharingConfig dyn_cfg() {
+  SharingConfig c;
+  c.enabled = true;
+  c.dynamic_warp_execution = true;
+  return c;
+}
+
+TEST(Dyn, DisabledControllerAllowsEverything) {
+  SharingConfig c;
+  c.dynamic_warp_execution = false;
+  DynThrottle d(c, 4);
+  EXPECT_TRUE(d.allow(0, 123, 7));
+  EXPECT_TRUE(d.allow(3, 456, 9));
+}
+
+TEST(Dyn, Sm0AlwaysDisabled) {
+  DynThrottle d(dyn_cfg(), 4);
+  EXPECT_DOUBLE_EQ(d.probability(0), 0.0);
+  for (Cycle t = 0; t < 100; ++t) EXPECT_FALSE(d.allow(0, t, t * 31));
+}
+
+TEST(Dyn, OtherSmsStartFullyEnabled) {
+  DynThrottle d(dyn_cfg(), 4);
+  for (SmId i = 1; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(d.probability(i), 1.0);
+    EXPECT_TRUE(d.allow(i, 42, 7));
+  }
+}
+
+TEST(Dyn, MoreStallsThanSm0DecreasesProbability) {
+  DynThrottle d(dyn_cfg(), 3);
+  d.on_period_end({100, 150, 50});
+  EXPECT_DOUBLE_EQ(d.probability(1), 0.9);  // stalled more than SM0
+  EXPECT_DOUBLE_EQ(d.probability(2), 1.0);  // fewer stalls: stays saturated
+}
+
+TEST(Dyn, EqualStallsCountAsNotWorse) {
+  // Paper: decrease only when stalls exceed SM0's.
+  DynThrottle d(dyn_cfg(), 2);
+  d.on_period_end({100, 100});
+  EXPECT_DOUBLE_EQ(d.probability(1), 1.0);
+}
+
+TEST(Dyn, ProbabilitySaturatesAtZeroAndOne) {
+  DynThrottle d(dyn_cfg(), 2);
+  for (int i = 0; i < 20; ++i) d.on_period_end({0, 100});
+  EXPECT_DOUBLE_EQ(d.probability(1), 0.0);
+  for (int i = 0; i < 20; ++i) d.on_period_end({100, 0});
+  EXPECT_DOUBLE_EQ(d.probability(1), 1.0);
+}
+
+TEST(Dyn, RecoversInStepsOfP) {
+  DynThrottle d(dyn_cfg(), 2);
+  d.on_period_end({0, 100});
+  d.on_period_end({0, 100});
+  EXPECT_DOUBLE_EQ(d.probability(1), 0.8);
+  d.on_period_end({100, 0});
+  EXPECT_DOUBLE_EQ(d.probability(1), 0.9);
+}
+
+TEST(Dyn, IntermediateProbabilityGatesFractionally) {
+  DynThrottle d(dyn_cfg(), 2);
+  for (int i = 0; i < 5; ++i) d.on_period_end({0, 100});  // p = 0.5
+  EXPECT_DOUBLE_EQ(d.probability(1), 0.5);
+  int allowed = 0;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (d.allow(1, static_cast<Cycle>(i), static_cast<std::uint64_t>(i) * 977))
+      ++allowed;
+  }
+  EXPECT_NEAR(static_cast<double>(allowed) / kTrials, 0.5, 0.05);
+}
+
+TEST(Dyn, GateIsDeterministic) {
+  DynThrottle d(dyn_cfg(), 2);
+  for (int i = 0; i < 5; ++i) d.on_period_end({0, 100});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.allow(1, 17, 3), d.allow(1, 17, 3));
+  }
+}
+
+TEST(Dyn, PeriodComesFromConfig) {
+  SharingConfig c = dyn_cfg();
+  c.dyn_period = 2500;
+  DynThrottle d(c, 2);
+  EXPECT_EQ(d.period(), 2500u);
+}
+
+TEST(Dyn, CustomStepSize) {
+  SharingConfig c = dyn_cfg();
+  c.dyn_step = 0.25;
+  DynThrottle d(c, 2);
+  d.on_period_end({0, 10});
+  EXPECT_DOUBLE_EQ(d.probability(1), 0.75);
+}
+
+}  // namespace
+}  // namespace grs

@@ -1,0 +1,148 @@
+// PairLockState: the shared-resource locking rules of paper §III, including
+// the Fig. 5 deadlock scenario and the §IV-A ownership entitlement.
+#include <gtest/gtest.h>
+
+#include "core/locks.h"
+
+namespace grs {
+namespace {
+
+TEST(RegLocks, FreshPairEitherSideMayAcquire) {
+  PairLockState p(4);
+  EXPECT_TRUE(p.reg_can_acquire(0, 0));
+  EXPECT_TRUE(p.reg_can_acquire(1, 0));
+}
+
+TEST(RegLocks, HolderKeepsAccessIdempotently) {
+  PairLockState p(4);
+  p.reg_acquire(0, 1);
+  EXPECT_TRUE(p.reg_held(0, 1));
+  EXPECT_TRUE(p.reg_can_acquire(0, 1));
+  p.reg_acquire(0, 1);  // idempotent
+  EXPECT_EQ(p.reg_locks_held(0), 1u);
+}
+
+TEST(RegLocks, PartnerWarpBlockedOnHeldPosition) {
+  PairLockState p(4);
+  p.reg_acquire(0, 2);
+  EXPECT_FALSE(p.reg_can_acquire(1, 2));
+}
+
+TEST(RegLocks, SideExclusionBlocksOtherPositionsToo) {
+  // The Fig. 5 rule: while side 0 holds ANY lock, side 1 may acquire NONE —
+  // not even a free position.
+  PairLockState p(4);
+  p.reg_acquire(0, 0);
+  for (std::uint32_t pos = 0; pos < 4; ++pos) {
+    EXPECT_FALSE(p.reg_can_acquire(1, pos)) << "pos " << pos;
+  }
+  // Side 0's other warps keep going.
+  EXPECT_TRUE(p.reg_can_acquire(0, 3));
+}
+
+TEST(RegLocks, Fig5ScenarioDoesNotDeadlock) {
+  // TB1{w1,w2}, TB2{w3,w4}; positions: (w1,w3)=0, (w2,w4)=1.
+  // w2 (side 0) acquires lock 1 first. In the naive scheme w3 (side 1) could
+  // take lock 0 and the barrier in each block would deadlock the pair.
+  PairLockState p(2);
+  p.reg_acquire(0, 1);                  // w2 holds its pool
+  EXPECT_FALSE(p.reg_can_acquire(1, 0));  // w3 is denied (paper's resolution)
+  EXPECT_TRUE(p.reg_can_acquire(0, 0));   // w1 proceeds
+  p.reg_acquire(0, 0);
+  // TB1 finishes: both warps release.
+  p.reg_release_on_warp_finish(0, 0);
+  p.reg_release_on_warp_finish(0, 1);
+  p.on_block_finish(0);
+  // Now TB2 can make progress.
+  EXPECT_TRUE(p.reg_can_acquire(1, 0));
+  EXPECT_TRUE(p.reg_can_acquire(1, 1));
+}
+
+TEST(RegLocks, RuleBWaitsForAllHoldersToFinish) {
+  // Two side-1 warps hold locks; side 0 unblocks only when BOTH finish.
+  PairLockState p(3);
+  p.reg_acquire(1, 0);
+  p.reg_acquire(1, 2);
+  EXPECT_FALSE(p.reg_can_acquire(0, 1));
+  p.reg_release_on_warp_finish(1, 0);
+  EXPECT_FALSE(p.reg_can_acquire(0, 1)) << "one holder still live";
+  p.reg_release_on_warp_finish(1, 2);
+  EXPECT_TRUE(p.reg_can_acquire(0, 1));
+}
+
+TEST(RegLocks, ReleaseByNonHolderIsNoOp) {
+  PairLockState p(2);
+  p.reg_acquire(0, 0);
+  p.reg_release_on_warp_finish(1, 0);  // not the holder
+  EXPECT_TRUE(p.reg_held(0, 0));
+  EXPECT_EQ(p.reg_locks_held(0), 1u);
+}
+
+TEST(RegLocks, LockedSideReportsHolder) {
+  PairLockState p(2);
+  EXPECT_EQ(p.locked_side(), PairLockState::kNoSide);
+  p.reg_acquire(1, 0);
+  EXPECT_EQ(p.locked_side(), 1);
+  p.reg_release_on_warp_finish(1, 0);
+  EXPECT_EQ(p.locked_side(), PairLockState::kNoSide);
+}
+
+TEST(SmemLock, FirstBlockToAccessOwnsUntilFinish) {
+  PairLockState p(1);
+  EXPECT_TRUE(p.smem_can_acquire(0));
+  EXPECT_TRUE(p.smem_can_acquire(1));
+  p.smem_acquire(1);
+  EXPECT_EQ(p.smem_holder(), 1);
+  EXPECT_TRUE(p.smem_can_acquire(1));   // holder re-enters freely
+  EXPECT_FALSE(p.smem_can_acquire(0));  // partner busy-waits
+  p.on_block_finish(1);
+  EXPECT_TRUE(p.smem_can_acquire(0));
+}
+
+TEST(Entitlement, BarsTheOtherSideEvenWithNoLocksHeld) {
+  PairLockState p(2);
+  p.set_entitled(0);
+  EXPECT_FALSE(p.reg_can_acquire(1, 0));
+  EXPECT_FALSE(p.smem_can_acquire(1));
+  EXPECT_TRUE(p.reg_can_acquire(0, 0));
+  EXPECT_TRUE(p.smem_can_acquire(0));
+}
+
+TEST(Entitlement, ClearsWhenEntitledBlockFinishes) {
+  PairLockState p(2);
+  p.set_entitled(0);
+  p.on_block_finish(0);
+  EXPECT_TRUE(p.reg_can_acquire(1, 0));
+}
+
+TEST(Entitlement, SmemLockReleasedWithEntitlementOnFinish) {
+  PairLockState p(1);
+  p.smem_acquire(0);
+  p.set_entitled(0);
+  p.on_block_finish(0);
+  EXPECT_EQ(p.smem_holder(), PairLockState::kNoSide);
+  EXPECT_TRUE(p.smem_can_acquire(1));
+}
+
+using LockDeathTest = ::testing::Test;
+
+TEST(LockDeathTest, IllegalRegisterAcquisitionAborts) {
+  PairLockState p(2);
+  p.reg_acquire(0, 0);
+  EXPECT_DEATH(p.reg_acquire(1, 1), "illegal register lock acquisition");
+}
+
+TEST(LockDeathTest, IllegalScratchpadAcquisitionAborts) {
+  PairLockState p(1);
+  p.smem_acquire(0);
+  EXPECT_DEATH(p.smem_acquire(1), "illegal scratchpad lock acquisition");
+}
+
+TEST(LockDeathTest, BlockFinishWithLiveLocksAborts) {
+  PairLockState p(2);
+  p.reg_acquire(0, 0);
+  EXPECT_DEATH(p.on_block_finish(0), "live warp register locks");
+}
+
+}  // namespace
+}  // namespace grs

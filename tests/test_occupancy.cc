@@ -1,0 +1,268 @@
+// Occupancy calculator: baseline residency, wastage, and the Eq. 1-4 sharing
+// plan — validated against every cell of the paper's Tables VI and VIII and
+// the Fig. 1 motivation numbers.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/config.h"
+#include "core/occupancy.h"
+#include "workloads/suites.h"
+
+namespace grs {
+namespace {
+
+GpuConfig sharing_cfg(Resource res, double pct_sharing) {
+  return configs::shared_noopt(res, 1.0 - pct_sharing / 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline residency & wastage (paper Fig. 1, §I motivation)
+// ---------------------------------------------------------------------------
+
+TEST(OccupancyBaseline, HotspotMotivationNumbersFromPaper) {
+  // §I-A: 36 regs x 256 threads = 9216/block; ⌊32768/9216⌋ = 3 blocks;
+  // 5120 registers per SM wasted.
+  const Occupancy o =
+      compute_occupancy(configs::unshared(), KernelResources{256, 36, 0});
+  EXPECT_EQ(o.baseline_blocks, 3u);
+  EXPECT_EQ(o.limiter, Resource::kRegisters);
+  EXPECT_NEAR(o.baseline_waste_percent, 100.0 * 5120.0 / 32768.0, 1e-9);
+}
+
+TEST(OccupancyBaseline, LavaMdMotivationNumbersFromPaper) {
+  // §I-A: 7200B/block, 16384B per SM -> 2 blocks, 1984B wasted.
+  const Occupancy o =
+      compute_occupancy(configs::unshared(), KernelResources{128, 20, 7200});
+  EXPECT_EQ(o.baseline_blocks, 2u);
+  EXPECT_EQ(o.limiter, Resource::kScratchpad);
+  EXPECT_NEAR(o.baseline_waste_percent, 100.0 * 1984.0 / 16384.0, 1e-9);
+}
+
+struct BaselineCase {
+  const char* name;
+  std::uint32_t expect_blocks;
+  Resource expect_limiter;
+};
+
+class BaselineResidency : public ::testing::TestWithParam<BaselineCase> {};
+
+// Paper Fig. 1(a): Set-1 resident blocks; Fig. 1(c): Set-2; Table IV limits.
+INSTANTIATE_TEST_SUITE_P(
+    PaperFig1, BaselineResidency,
+    ::testing::Values(
+        BaselineCase{"backprop", 5, Resource::kRegisters},
+        BaselineCase{"b+tree", 2, Resource::kRegisters},
+        BaselineCase{"hotspot", 3, Resource::kRegisters},
+        BaselineCase{"LIB", 4, Resource::kRegisters},
+        BaselineCase{"MUM", 4, Resource::kRegisters},
+        BaselineCase{"mri-q", 5, Resource::kRegisters},
+        BaselineCase{"sgemm", 5, Resource::kRegisters},
+        BaselineCase{"stencil", 2, Resource::kRegisters},
+        BaselineCase{"CONV1", 6, Resource::kScratchpad},
+        BaselineCase{"CONV2", 3, Resource::kScratchpad},
+        BaselineCase{"lavaMD", 2, Resource::kScratchpad},
+        BaselineCase{"NW1", 7, Resource::kScratchpad},
+        BaselineCase{"NW2", 7, Resource::kScratchpad},
+        BaselineCase{"SRAD1", 2, Resource::kScratchpad},
+        BaselineCase{"SRAD2", 3, Resource::kScratchpad},
+        BaselineCase{"backprop-L", 6, Resource::kThreads},
+        BaselineCase{"BFS", 3, Resource::kThreads},
+        BaselineCase{"gaussian", 8, Resource::kBlocks},
+        BaselineCase{"NN", 8, Resource::kBlocks}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST_P(BaselineResidency, MatchesPaper) {
+  const KernelInfo k = workloads::by_name(GetParam().name);
+  const Occupancy o = compute_occupancy(configs::unshared(), k.resources);
+  EXPECT_EQ(o.baseline_blocks, GetParam().expect_blocks);
+  EXPECT_EQ(o.limiter, GetParam().expect_limiter);
+}
+
+// ---------------------------------------------------------------------------
+// Table VI: resident blocks vs register-sharing percentage — every cell.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  const char* name;
+  std::array<std::uint32_t, 6> blocks;  // at 0/10/30/50/70/90 % sharing
+};
+
+class TableVI : public ::testing::TestWithParam<SweepCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTableVI, TableVI,
+    ::testing::Values(SweepCase{"backprop", {5, 5, 5, 5, 6, 6}},
+                      SweepCase{"b+tree", {2, 2, 2, 3, 3, 3}},
+                      SweepCase{"hotspot", {3, 3, 3, 4, 4, 6}},
+                      SweepCase{"LIB", {4, 4, 5, 5, 6, 8}},
+                      SweepCase{"MUM", {4, 4, 4, 5, 5, 6}},
+                      SweepCase{"mri-q", {5, 5, 5, 5, 6, 6}},
+                      SweepCase{"sgemm", {5, 5, 5, 5, 6, 8}},
+                      SweepCase{"stencil", {2, 2, 2, 2, 2, 3}}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST_P(TableVI, EveryCellMatchesPaper) {
+  const KernelInfo k = workloads::by_name(GetParam().name);
+  const double pct[] = {0, 10, 30, 50, 70, 90};
+  for (int i = 0; i < 6; ++i) {
+    const Occupancy o =
+        compute_occupancy(sharing_cfg(Resource::kRegisters, pct[i]), k.resources);
+    EXPECT_EQ(o.total_blocks, GetParam().blocks[i])
+        << k.name << " at " << pct[i] << "% sharing";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table VIII: resident blocks vs scratchpad-sharing percentage — every cell.
+// ---------------------------------------------------------------------------
+
+class TableVIII : public ::testing::TestWithParam<SweepCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTableVIII, TableVIII,
+    ::testing::Values(SweepCase{"CONV1", {6, 6, 6, 6, 7, 8}},
+                      SweepCase{"CONV2", {3, 3, 3, 3, 3, 4}},
+                      SweepCase{"lavaMD", {2, 2, 2, 2, 2, 4}},
+                      SweepCase{"NW1", {7, 7, 7, 8, 8, 8}},
+                      SweepCase{"NW2", {7, 7, 7, 8, 8, 8}},
+                      SweepCase{"SRAD1", {2, 2, 2, 3, 4, 4}},
+                      SweepCase{"SRAD2", {3, 3, 3, 3, 3, 5}}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST_P(TableVIII, EveryCellMatchesPaper) {
+  const KernelInfo k = workloads::by_name(GetParam().name);
+  const double pct[] = {0, 10, 30, 50, 70, 90};
+  for (int i = 0; i < 6; ++i) {
+    const Occupancy o =
+        compute_occupancy(sharing_cfg(Resource::kScratchpad, pct[i]), k.resources);
+    EXPECT_EQ(o.total_blocks, GetParam().blocks[i])
+        << k.name << " at " << pct[i] << "% sharing";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural invariants of the sharing plan (Eq. 1-4), swept over kernels
+// and thresholds.
+// ---------------------------------------------------------------------------
+
+class PlanInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllThresholds, PlanInvariants,
+    ::testing::Combine(::testing::ValuesIn(workloads::all_names()),
+                       ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9, 1.0)),
+    [](const auto& info) {
+      std::string n = std::get<0>(info.param) + "_t" +
+                      std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c)) && c != '_') c = '_';
+      return n;
+    });
+
+TEST_P(PlanInvariants, Eq1Through4Hold) {
+  const KernelInfo k = workloads::by_name(std::get<0>(GetParam()));
+  const double t = std::get<1>(GetParam());
+  for (const Resource res : {Resource::kRegisters, Resource::kScratchpad}) {
+    GpuConfig cfg = configs::shared_noopt(res, t);
+    const Occupancy o = compute_occupancy(cfg, k.resources);
+
+    // Eq. 3: M = U + 2S.
+    EXPECT_EQ(o.total_blocks, o.unshared_blocks + 2 * o.shared_pairs);
+    // Eq. 1: effective blocks preserved.
+    EXPECT_EQ(o.effective_blocks(), o.baseline_blocks);
+    EXPECT_GE(o.effective_blocks(), o.baseline_blocks);
+    // Pairing bound.
+    EXPECT_LE(o.total_blocks, 2 * o.baseline_blocks);
+    // Residency caps.
+    const std::uint32_t warps = k.resources.warps_per_block(cfg.warp_size);
+    EXPECT_LE(o.total_blocks * warps, cfg.max_warps_per_sm());
+    EXPECT_LE(o.total_blocks, cfg.max_blocks_per_sm);
+    // Eq. 2: capacity of the shared resource.
+    if (o.sharing_active && res == Resource::kRegisters) {
+      const std::uint64_t rtb = k.resources.regs_per_block();
+      const std::uint64_t used =
+          o.unshared_blocks * rtb +
+          o.shared_pairs * (rtb + static_cast<std::uint64_t>(rtb * t));
+      EXPECT_LE(used, cfg.registers_per_sm);
+    }
+    // Sharing never activates on a non-limiting resource.
+    if (res != o.limiter) EXPECT_FALSE(o.sharing_active);
+    // t = 1.0 (0% sharing) never adds blocks.
+    if (t == 1.0) EXPECT_EQ(o.total_blocks, o.baseline_blocks);
+  }
+}
+
+TEST(OccupancyMonotonic, BlocksNonDecreasingAsSharingGrows) {
+  for (const auto& name : workloads::all_names()) {
+    const KernelInfo k = workloads::by_name(name);
+    for (const Resource res : {Resource::kRegisters, Resource::kScratchpad}) {
+      std::uint32_t prev = 0;
+      for (const double pct : {0.0, 10.0, 30.0, 50.0, 70.0, 90.0}) {
+        const Occupancy o = compute_occupancy(sharing_cfg(res, pct), k.resources);
+        EXPECT_GE(o.total_blocks, prev) << name << " " << pct;
+        prev = o.total_blocks;
+      }
+    }
+  }
+}
+
+TEST(OccupancyThresholds, PrivatePartitionMatchesFig3And4) {
+  // hotspot at 90% sharing: floor(36 * 0.1) = 3 private registers/thread.
+  const Occupancy reg = compute_occupancy(sharing_cfg(Resource::kRegisters, 90),
+                                          KernelResources{256, 36, 0});
+  EXPECT_TRUE(reg.sharing_active);
+  EXPECT_EQ(reg.unshared_regs_per_thread, 3u);
+
+  // SRAD1 at 50% sharing: floor(6144 * 0.5) = 3072 private bytes.
+  const Occupancy smem = compute_occupancy(sharing_cfg(Resource::kScratchpad, 50),
+                                           KernelResources{256, 16, 6144});
+  EXPECT_TRUE(smem.sharing_active);
+  EXPECT_EQ(smem.unshared_smem_bytes, 3072u);
+}
+
+TEST(OccupancyEdge, KernelWithNoSmemNeverScratchpadLimited) {
+  const Occupancy o =
+      compute_occupancy(configs::unshared(), KernelResources{256, 20, 0});
+  EXPECT_NE(o.limiter, Resource::kScratchpad);
+}
+
+TEST(OccupancyEdge, SingleWarpBlocks) {
+  // 32-thread blocks, tiny demand: blocks cap (8) binds.
+  const Occupancy o =
+      compute_occupancy(configs::unshared(), KernelResources{32, 4, 0});
+  EXPECT_EQ(o.baseline_blocks, 8u);
+  EXPECT_EQ(o.limiter, Resource::kBlocks);
+}
+
+TEST(OccupancyEdge, OtherResourceCapsSharedBlocks) {
+  // Register-limited kernel whose scratchpad use caps the extra blocks:
+  // regs: 36*256=9216 -> D=3, Eq.4 at t=0.1 -> 6; but 4096B scratchpad/block
+  // allows only 4 blocks, so M = 4.
+  const Occupancy o = compute_occupancy(sharing_cfg(Resource::kRegisters, 90),
+                                        KernelResources{256, 36, 4096});
+  EXPECT_EQ(o.limiter, Resource::kRegisters);
+  EXPECT_EQ(o.baseline_blocks, 3u);
+  EXPECT_EQ(o.total_blocks, 4u);
+}
+
+TEST(OccupancyEdge, DoubledRegistersDoubleBaseline) {
+  GpuConfig cfg = configs::unshared();
+  cfg.registers_per_sm = 65536;
+  const Occupancy o = compute_occupancy(cfg, KernelResources{256, 36, 0});
+  EXPECT_EQ(o.baseline_blocks, 6u);  // paper Fig. 11(a) baseline
+}
+
+}  // namespace
+}  // namespace grs

@@ -1,0 +1,115 @@
+// Warp scheduler policies: LRR rotation, GTO greediness/age, Two-Level
+// grouping, OWF class priority and its GTO degeneration (paper §IV-A, §VI).
+#include <gtest/gtest.h>
+
+#include "sm/scheduler.h"
+
+namespace grs {
+namespace {
+
+SchedCandidate c(std::uint32_t slot, std::uint64_t age,
+                 WarpClass cls = WarpClass::kUnshared) {
+  return SchedCandidate{slot, age, cls};
+}
+
+TEST(Lrr, RotatesThroughCandidates) {
+  WarpScheduler s(SchedulerKind::kLrr, 8, 8);
+  const std::vector<SchedCandidate> cands{c(0, 0), c(2, 1), c(4, 2), c(6, 3)};
+  EXPECT_EQ(cands[s.select(cands)].slot, 2u);  // after initial last=0
+  EXPECT_EQ(cands[s.select(cands)].slot, 4u);
+  EXPECT_EQ(cands[s.select(cands)].slot, 6u);
+  EXPECT_EQ(cands[s.select(cands)].slot, 0u);  // wraps
+  EXPECT_EQ(cands[s.select(cands)].slot, 2u);
+}
+
+TEST(Lrr, SkipsMissingSlots) {
+  WarpScheduler s(SchedulerKind::kLrr, 8, 8);
+  (void)s.select({c(5, 0)});  // last = 5
+  const std::vector<SchedCandidate> cands{c(1, 0), c(3, 1)};
+  EXPECT_EQ(cands[s.select(cands)].slot, 1u);  // wrap past 5
+}
+
+TEST(Gto, StaysGreedyWhileCandidateRemains) {
+  WarpScheduler s(SchedulerKind::kGto, 8, 8);
+  const std::vector<SchedCandidate> cands{c(0, 5), c(2, 1), c(4, 9)};
+  const std::uint32_t first = cands[s.select(cands)].slot;
+  EXPECT_EQ(first, 2u);  // oldest (age 1) picked initially
+  // Greedy: keeps picking slot 2 while present.
+  EXPECT_EQ(cands[s.select(cands)].slot, 2u);
+  EXPECT_EQ(cands[s.select(cands)].slot, 2u);
+}
+
+TEST(Gto, FallsBackToOldestWhenGreedyStalls) {
+  WarpScheduler s(SchedulerKind::kGto, 8, 8);
+  (void)s.select({c(2, 1)});  // greedy = 2
+  const std::vector<SchedCandidate> without2{c(0, 5), c(4, 3)};
+  EXPECT_EQ(without2[s.select(without2)].slot, 4u);  // oldest of the rest
+}
+
+TEST(TwoLevel, PrefersActiveGroup) {
+  WarpScheduler s(SchedulerKind::kTwoLevel, 16, 8);  // groups {0-7}, {8-15}
+  const std::vector<SchedCandidate> cands{c(1, 0), c(9, 1)};
+  EXPECT_EQ(cands[s.select(cands)].slot, 1u);  // group 0 active initially
+  // The active group keeps priority while it has issuable warps (group
+  // switches happen only when the group has nothing to issue).
+  EXPECT_EQ(cands[s.select(cands)].slot, 1u);
+}
+
+TEST(TwoLevel, SwitchesGroupWhenActiveGroupEmpty) {
+  WarpScheduler s(SchedulerKind::kTwoLevel, 16, 8);
+  const std::vector<SchedCandidate> only_high{c(10, 0), c(12, 1)};
+  EXPECT_EQ(only_high[s.select(only_high)].slot, 10u);
+  // Group 1 is now active; a group-0 candidate appearing does not preempt.
+  const std::vector<SchedCandidate> mixed{c(1, 2), c(12, 1)};
+  EXPECT_EQ(mixed[s.select(mixed)].slot, 12u);
+}
+
+TEST(Owf, StrictClassPriority) {
+  WarpScheduler s(SchedulerKind::kOwf, 8, 8);
+  const std::vector<SchedCandidate> cands{
+      c(0, 0, WarpClass::kSharedNonOwner),
+      c(2, 1, WarpClass::kUnshared),
+      c(4, 2, WarpClass::kSharedOwner)};
+  // Owner beats unshared beats non-owner, regardless of age.
+  EXPECT_EQ(cands[s.select(cands)].slot, 4u);
+}
+
+TEST(Owf, UnsharedBeatsNonOwner) {
+  WarpScheduler s(SchedulerKind::kOwf, 8, 8);
+  const std::vector<SchedCandidate> cands{c(0, 0, WarpClass::kSharedNonOwner),
+                                          c(2, 9, WarpClass::kUnshared)};
+  EXPECT_EQ(cands[s.select(cands)].slot, 2u);
+}
+
+TEST(Owf, NonOwnerRunsWhenAlone) {
+  WarpScheduler s(SchedulerKind::kOwf, 8, 8);
+  const std::vector<SchedCandidate> cands{c(6, 3, WarpClass::kSharedNonOwner)};
+  EXPECT_EQ(cands[s.select(cands)].slot, 6u);
+}
+
+TEST(Owf, DegeneratesToGtoWhenAllUnshared) {
+  // Paper §VI-B.2: with no shared blocks resident, OWF orders by dynamic
+  // warp id and behaves like GTO.
+  WarpScheduler owf(SchedulerKind::kOwf, 8, 8);
+  WarpScheduler gto(SchedulerKind::kGto, 8, 8);
+  const std::vector<SchedCandidate> cands{c(0, 7), c(2, 3), c(4, 5)};
+  for (int step = 0; step < 5; ++step) {
+    EXPECT_EQ(owf.select(cands), gto.select(cands)) << "step " << step;
+  }
+}
+
+TEST(Owf, GreedyWithinClass) {
+  WarpScheduler s(SchedulerKind::kOwf, 8, 8);
+  const std::vector<SchedCandidate> owners{c(0, 5, WarpClass::kSharedOwner),
+                                           c(2, 1, WarpClass::kSharedOwner)};
+  EXPECT_EQ(owners[s.select(owners)].slot, 2u);  // oldest first
+  EXPECT_EQ(owners[s.select(owners)].slot, 2u);  // then greedy on it
+}
+
+TEST(OwfRank, OrderingConstants) {
+  EXPECT_LT(owf_rank(WarpClass::kSharedOwner), owf_rank(WarpClass::kUnshared));
+  EXPECT_LT(owf_rank(WarpClass::kUnshared), owf_rank(WarpClass::kSharedNonOwner));
+}
+
+}  // namespace
+}  // namespace grs

@@ -1,0 +1,42 @@
+// End-to-end smoke: every paper kernel runs to completion under the baseline
+// config and produces sane statistics.
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "gpu/simulator.h"
+#include "workloads/suites.h"
+
+namespace grs {
+namespace {
+
+class SmokeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SmokeTest, BaselineRunsToCompletion) {
+  const KernelInfo k = workloads::by_name(GetParam());
+  GpuConfig cfg = configs::unshared();
+  cfg.max_cycles = 5'000'000;  // far above any sane runtime: a hang trips this
+  const SimResult r = simulate(cfg, k);
+
+  EXPECT_GT(r.stats.cycles, 0u);
+  EXPECT_LT(r.stats.cycles, cfg.max_cycles) << "kernel did not drain";
+  // Every block executed, and instruction totals are consistent.
+  EXPECT_EQ(r.stats.sm_total.blocks_launched, k.grid_blocks);
+  EXPECT_EQ(r.stats.sm_total.blocks_finished, k.grid_blocks);
+  const std::uint64_t expected_warp_instrs =
+      static_cast<std::uint64_t>(k.grid_blocks) *
+      k.resources.warps_per_block(cfg.warp_size) * k.program.dynamic_length();
+  EXPECT_EQ(r.stats.sm_total.warp_instructions, expected_warp_instrs);
+  EXPECT_GT(r.stats.ipc(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, SmokeTest,
+                         ::testing::ValuesIn(workloads::all_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace grs

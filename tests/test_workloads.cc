@@ -1,0 +1,143 @@
+// Workload suite: resource signatures must match the paper's Tables II-IV
+// verbatim, programs must be well-formed, and per-kernel modelling notes
+// (divergence, scratchpad footprints, staging phases) must hold.
+#include <gtest/gtest.h>
+
+#include "isa/analysis.h"
+#include "workloads/suites.h"
+
+namespace grs {
+namespace {
+
+struct Signature {
+  const char* name;
+  std::uint32_t threads;
+  std::uint32_t regs;
+  std::uint32_t smem;
+};
+
+class TableSignatures : public ::testing::TestWithParam<Signature> {};
+
+// Paper Table II (block size, registers/thread) and Table III (block size,
+// scratchpad bytes/block).
+INSTANTIATE_TEST_SUITE_P(
+    PaperTablesIIandIII, TableSignatures,
+    ::testing::Values(Signature{"backprop", 256, 24, 0}, Signature{"b+tree", 508, 24, 0},
+                      Signature{"hotspot", 256, 36, 512}, Signature{"LIB", 192, 36, 0},
+                      Signature{"MUM", 256, 28, 0}, Signature{"mri-q", 256, 24, 0},
+                      Signature{"sgemm", 128, 48, 1024}, Signature{"stencil", 512, 28, 0},
+                      Signature{"CONV1", 64, 16, 2560}, Signature{"CONV2", 128, 16, 5184},
+                      Signature{"lavaMD", 128, 20, 7200}, Signature{"NW1", 16, 16, 2180},
+                      Signature{"NW2", 16, 16, 2180}, Signature{"SRAD1", 256, 16, 6144},
+                      Signature{"SRAD2", 256, 16, 5120}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST_P(TableSignatures, MatchThePaper) {
+  const KernelInfo k = workloads::by_name(GetParam().name);
+  EXPECT_EQ(k.resources.threads_per_block, GetParam().threads);
+  EXPECT_EQ(k.resources.regs_per_thread, GetParam().regs);
+  EXPECT_EQ(k.resources.smem_per_block, GetParam().smem);
+}
+
+TEST(Workloads, AllKernelsValidate) {
+  for (const auto& name : workloads::all_names()) {
+    const KernelInfo k = workloads::by_name(name);
+    EXPECT_NO_FATAL_FAILURE(k.validate()) << name;
+    EXPECT_GE(k.grid_blocks, 1u);
+    EXPECT_GT(k.program.dynamic_length(), 20u) << name << ": trivially short";
+  }
+}
+
+TEST(Workloads, SetMembershipMatchesPaperSections) {
+  EXPECT_EQ(workloads::set1().size(), 8u);
+  EXPECT_EQ(workloads::set2().size(), 7u);
+  EXPECT_EQ(workloads::set3().size(), 4u);
+  for (const auto& k : workloads::set1()) EXPECT_EQ(k.set, "set1") << k.name;
+  for (const auto& k : workloads::set2()) EXPECT_EQ(k.set, "set2") << k.name;
+  for (const auto& k : workloads::set3()) EXPECT_EQ(k.set, "set3") << k.name;
+}
+
+TEST(Workloads, NamesAreUnique) {
+  auto names = workloads::all_names();
+  EXPECT_EQ(names.size(), 19u);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(WorkloadsDeath, UnknownNameAborts) {
+  EXPECT_DEATH((void)workloads::by_name("no-such-kernel"), "unknown kernel");
+}
+
+TEST(Workloads, DivergentKernelsHaveReducedLanes) {
+  EXPECT_EQ(workloads::mum().active_lanes, 20u);
+  EXPECT_EQ(workloads::btree().active_lanes, 24u);
+  EXPECT_EQ(workloads::bfs().active_lanes, 16u);
+  EXPECT_EQ(workloads::hotspot().active_lanes, 32u);
+}
+
+TEST(Workloads, ScratchpadAccessesStayWithinAllocation) {
+  for (const auto& k : workloads::set2()) {
+    EXPECT_LT(k.program.max_smem_offset(), k.resources.smem_per_block) << k.name;
+  }
+}
+
+TEST(Workloads, Set2KernelsSynchronizeWithBarriers) {
+  // Scratchpad-tiled kernels synchronize; NW/SRAD wavefronts barrier per
+  // diagonal (multi-warp blocks need it for correctness of the real code).
+  for (const char* name : {"CONV1", "CONV2", "lavaMD", "NW1", "NW2", "SRAD1", "SRAD2"}) {
+    EXPECT_TRUE(workloads::by_name(name).program.has_barrier()) << name;
+  }
+}
+
+TEST(Workloads, StagingPhasesGiveNonOwnersRoomAt90Percent) {
+  // The paper's gainers must let a non-owner warp execute a real prefix at
+  // 90% sharing; SRAD1 (barrier next to the shared access) must not.
+  struct Case {
+    const char* name;
+    double min_frac;
+    double max_frac;
+  };
+  for (const Case c : {Case{"hotspot", 0.01, 0.5}, Case{"stencil", 0.05, 0.6},
+                       Case{"CONV2", 0.05, 0.6}, Case{"SRAD2", 0.05, 0.7},
+                       Case{"SRAD1", 0.0, 0.05}}) {
+    const KernelInfo k = workloads::by_name(c.name);
+    std::uint64_t prefix;
+    if (k.set == "set1") {
+      const auto thresh =
+          static_cast<RegNum>(k.resources.regs_per_thread / 10);  // t = 0.1
+      prefix = instructions_before_shared_reg(k.program, thresh);
+    } else {
+      prefix = instructions_before_shared_smem(
+          k.program, static_cast<std::uint32_t>(k.resources.smem_per_block * 0.1));
+    }
+    const double frac =
+        static_cast<double>(prefix) / static_cast<double>(k.program.dynamic_length());
+    EXPECT_GE(frac, c.min_frac) << c.name;
+    EXPECT_LE(frac, c.max_frac) << c.name;
+  }
+}
+
+TEST(Workloads, MemoryBoundKernelsHaveHigherMemFraction) {
+  const double mum = summarize_mix(workloads::mum().program).mem_fraction();
+  const double mriq = summarize_mix(workloads::mriq().program).mem_fraction();
+  EXPECT_GT(mum, mriq) << "MUM is the memory-bound one (paper §VI-B)";
+}
+
+TEST(Workloads, MriQUsesSfuPipelines) {
+  EXPECT_GT(summarize_mix(workloads::mriq().program).sfu, 0u)
+      << "mri-q models sin/cos SFU chains";
+}
+
+TEST(Workloads, ByNameRoundTrips) {
+  for (const auto& name : workloads::all_names()) {
+    EXPECT_EQ(workloads::by_name(name).name, name);
+  }
+}
+
+}  // namespace
+}  // namespace grs
