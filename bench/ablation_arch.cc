@@ -2,75 +2,111 @@
 // headline result (hotspot + lavaMD at 90% sharing) depends on the
 // micro-architectural knobs that are substitutions for GPGPU-Sim detail.
 // Not a paper figure — this quantifies the sensitivity of the reproduction.
-#include <cstdio>
-#include <functional>
+#include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "common/table.h"
-#include "gpu/simulator.h"
+#include "runner/registry.h"
 #include "workloads/suites.h"
 
-using namespace grs;
-
+namespace grs {
 namespace {
 
-double gain(const KernelInfo& k, const std::function<void(GpuConfig&)>& tweak) {
-  const Resource res = k.set == "set2" ? Resource::kScratchpad : Resource::kRegisters;
-  GpuConfig base = configs::unshared();
-  GpuConfig shared = k.set == "set2" ? configs::shared_owf(res)
-                                     : configs::shared_owf_unroll_dyn(res);
-  tweak(base);
-  tweak(shared);
-  return percent_improvement(simulate(base, k).stats.ipc(),
-                             simulate(shared, k).stats.ipc());
+struct Tweak {
+  const char* label;
+  void (*apply)(GpuConfig&);
+};
+
+struct Group {
+  const char* key;  ///< variant-label prefix, must be unique across groups
+  const char* caption;
+  std::vector<Tweak> tweaks;
+};
+
+const std::vector<Group>& groups() {
+  static const std::vector<Group> gs = {
+      {"mshr",
+       "Ablation: L1 MSHR entries (memory-level parallelism ceiling)",
+       {{"16", [](GpuConfig& c) { c.l1.mshr_entries = 16; }},
+        {"32", [](GpuConfig& c) { c.l1.mshr_entries = 32; }},
+        {"64 (default)", [](GpuConfig& c) { c.l1.mshr_entries = 64; }},
+        {"128", [](GpuConfig& c) { c.l1.mshr_entries = 128; }}}},
+      {"row_window",
+       "Ablation: DRAM row window (FR-FCFS approximation depth)",
+       {{"1 (open-row only)", [](GpuConfig& c) { c.dram.row_window = 1; }},
+        {"4 (default)", [](GpuConfig& c) { c.dram.row_window = 4; }},
+        {"16", [](GpuConfig& c) { c.dram.row_window = 16; }}}},
+      {"lsu",
+       "Ablation: LSU queue depth",
+       {{"24", [](GpuConfig& c) { c.lsu_max_inflight = 24; }},
+        {"48", [](GpuConfig& c) { c.lsu_max_inflight = 48; }},
+        {"96 (default)", [](GpuConfig& c) { c.lsu_max_inflight = 96; }}}},
+      {"dyn_period",
+       "Ablation: Dyn monitoring period (paper fixed 1000)",
+       {{"250", [](GpuConfig& c) { c.sharing.dyn_period = 250; }},
+        {"1000 (paper)", [](GpuConfig& c) { c.sharing.dyn_period = 1000; }},
+        {"4000", [](GpuConfig& c) { c.sharing.dyn_period = 4000; }}}},
+      {"dyn_step",
+       "Ablation: Dyn step p (paper fixed 0.1)",
+       {{"0.05", [](GpuConfig& c) { c.sharing.dyn_step = 0.05; }},
+        {"0.1 (paper)", [](GpuConfig& c) { c.sharing.dyn_step = 0.1; }},
+        {"0.5", [](GpuConfig& c) { c.sharing.dyn_step = 0.5; }}}}};
+  return gs;
 }
 
-void sweep(const char* caption, const std::vector<std::string>& labels,
-           const std::vector<std::function<void(GpuConfig&)>>& tweaks) {
-  std::vector<std::string> header{"sharing gain"};
-  for (const auto& l : labels) header.push_back(l);
-  TextTable t(header);
-  for (const char* name : {"hotspot", "lavaMD", "MUM"}) {
-    const KernelInfo k = workloads::by_name(name);
-    std::vector<std::string> row{name};
-    for (const auto& tw : tweaks) row.push_back(TextTable::pct(gain(k, tw)));
-    t.add_row(std::move(row));
-  }
-  t.print(caption);
+const std::vector<const char*>& kernel_names() {
+  static const std::vector<const char*> names = {"hotspot", "lavaMD", "MUM"};
+  return names;
 }
+
+std::string variant_label(const Group& g, const Tweak& t, bool shared) {
+  return std::string(g.key) + "/" + t.label + (shared ? "/shared" : "/base");
+}
+
+runner::SweepSpec build() {
+  runner::SweepSpec s;
+  for (const Group& g : groups()) {
+    for (const Tweak& t : g.tweaks) {
+      for (const char* name : kernel_names()) {
+        const KernelInfo k = workloads::by_name(name);
+        const Resource res =
+            k.set == "set2" ? Resource::kScratchpad : Resource::kRegisters;
+        GpuConfig base = configs::unshared();
+        GpuConfig shared = k.set == "set2" ? configs::shared_owf(res)
+                                           : configs::shared_owf_unroll_dyn(res);
+        t.apply(base);
+        t.apply(shared);
+        s.add(variant_label(g, t, /*shared=*/false), base, k);
+        s.add(variant_label(g, t, /*shared=*/true), shared, k);
+      }
+    }
+  }
+  return s;
+}
+
+void present(const runner::BenchView& v) {
+  for (const Group& g : groups()) {
+    std::vector<std::string> header{"sharing gain"};
+    for (const Tweak& t : g.tweaks) header.push_back(t.label);
+    TextTable table(header);
+    for (const char* name : kernel_names()) {
+      std::vector<std::string> row{name};
+      for (const Tweak& t : g.tweaks) {
+        const SimResult* base = v.find(variant_label(g, t, /*shared=*/false), name);
+        const SimResult* shared = v.find(variant_label(g, t, /*shared=*/true), name);
+        if (base == nullptr || shared == nullptr) break;
+        row.push_back(TextTable::pct(
+            percent_improvement(base->stats.ipc(), shared->stats.ipc())));
+      }
+      if (row.size() == header.size()) table.add_row(std::move(row));
+    }
+    table.print(g.caption);
+  }
+}
+
+const runner::BenchRegistrar reg{
+    {"ablation_arch", "sensitivity of the headline result to model knobs", build, present}};
 
 }  // namespace
-
-int main() {
-  sweep("Ablation: L1 MSHR entries (memory-level parallelism ceiling)",
-        {"16", "32", "64 (default)", "128"},
-        {[](GpuConfig& c) { c.l1.mshr_entries = 16; },
-         [](GpuConfig& c) { c.l1.mshr_entries = 32; },
-         [](GpuConfig& c) { c.l1.mshr_entries = 64; },
-         [](GpuConfig& c) { c.l1.mshr_entries = 128; }});
-
-  sweep("Ablation: DRAM row window (FR-FCFS approximation depth)",
-        {"1 (open-row only)", "4 (default)", "16"},
-        {[](GpuConfig& c) { c.dram.row_window = 1; },
-         [](GpuConfig& c) { c.dram.row_window = 4; },
-         [](GpuConfig& c) { c.dram.row_window = 16; }});
-
-  sweep("Ablation: LSU queue depth",
-        {"24", "48", "96 (default)"},
-        {[](GpuConfig& c) { c.lsu_max_inflight = 24; },
-         [](GpuConfig& c) { c.lsu_max_inflight = 48; },
-         [](GpuConfig& c) { c.lsu_max_inflight = 96; }});
-
-  sweep("Ablation: Dyn monitoring period (paper fixed 1000)",
-        {"250", "1000 (paper)", "4000"},
-        {[](GpuConfig& c) { c.sharing.dyn_period = 250; },
-         [](GpuConfig& c) { c.sharing.dyn_period = 1000; },
-         [](GpuConfig& c) { c.sharing.dyn_period = 4000; }});
-
-  sweep("Ablation: Dyn step p (paper fixed 0.1)",
-        {"0.05", "0.1 (paper)", "0.5"},
-        {[](GpuConfig& c) { c.sharing.dyn_step = 0.05; },
-         [](GpuConfig& c) { c.sharing.dyn_step = 0.1; },
-         [](GpuConfig& c) { c.sharing.dyn_step = 0.5; }});
-  return 0;
-}
+}  // namespace grs

@@ -5,42 +5,58 @@
 // The sharing line is the paper's full stack (Shared-OWF-Unroll-Dyn for
 // registers, Shared-OWF for scratchpad); only the *baseline* scheduler
 // changes between the sub-figures.
-#include <cstdio>
+#include <string>
 
 #include "common/config.h"
 #include "common/table.h"
-#include "gpu/simulator.h"
+#include "runner/registry.h"
 #include "workloads/suites.h"
 
-using namespace grs;
-
+namespace grs {
 namespace {
 
-void versus(const std::vector<KernelInfo>& kernels, SchedulerKind baseline_sched,
-            const GpuConfig& shared, const char* caption) {
+runner::SweepSpec build() {
+  runner::SweepSpec s;
+  s.add_grid({runner::ConfigVariant::of(configs::unshared(SchedulerKind::kGto)),
+              runner::ConfigVariant::of(configs::unshared(SchedulerKind::kTwoLevel)),
+              runner::ConfigVariant::of(configs::shared_owf_unroll_dyn(Resource::kRegisters))},
+             workloads::set1());
+  s.add_grid({runner::ConfigVariant::of(configs::unshared(SchedulerKind::kGto)),
+              runner::ConfigVariant::of(configs::unshared(SchedulerKind::kTwoLevel)),
+              runner::ConfigVariant::of(configs::shared_owf(Resource::kScratchpad))},
+             workloads::set2());
+  return s;
+}
+
+void versus(const runner::BenchView& v, const std::vector<KernelInfo>& kernels,
+            const std::string& baseline_label, const std::string& shared_label,
+            const char* caption) {
   TextTable t({"application", "baseline IPC", "shared IPC", "improvement"});
   for (const KernelInfo& k : kernels) {
-    const double base = simulate(configs::unshared(baseline_sched), k).stats.ipc();
-    const double s = simulate(shared, k).stats.ipc();
-    t.add_row({k.name, TextTable::fmt(base), TextTable::fmt(s),
-               TextTable::pct(percent_improvement(base, s))});
+    const SimResult* base = v.find(baseline_label, k.name);
+    const SimResult* shared = v.find(shared_label, k.name);
+    if (base == nullptr || shared == nullptr) continue;
+    t.add_row({k.name, TextTable::fmt(base->stats.ipc()), TextTable::fmt(shared->stats.ipc()),
+               TextTable::pct(percent_improvement(base->stats.ipc(), shared->stats.ipc()))});
   }
   t.print(caption);
 }
 
-}  // namespace
-
-int main() {
-  versus(workloads::set1(), SchedulerKind::kGto,
-         configs::shared_owf_unroll_dyn(Resource::kRegisters),
+void present(const runner::BenchView& v) {
+  const std::string reg = configs::shared_owf_unroll_dyn(Resource::kRegisters).line_label();
+  const std::string smem = configs::shared_owf(Resource::kScratchpad).line_label();
+  versus(v, workloads::set1(), "Unshared-GTO", reg,
          "Fig 10(a): register sharing vs Unshared-GTO");
-  versus(workloads::set2(), SchedulerKind::kGto, configs::shared_owf(Resource::kScratchpad),
+  versus(v, workloads::set2(), "Unshared-GTO", smem,
          "Fig 10(b): scratchpad sharing vs Unshared-GTO");
-  versus(workloads::set1(), SchedulerKind::kTwoLevel,
-         configs::shared_owf_unroll_dyn(Resource::kRegisters),
+  versus(v, workloads::set1(), "Unshared-TwoLevel", reg,
          "Fig 10(c): register sharing vs Unshared-TwoLevel");
-  versus(workloads::set2(), SchedulerKind::kTwoLevel,
-         configs::shared_owf(Resource::kScratchpad),
+  versus(v, workloads::set2(), "Unshared-TwoLevel", smem,
          "Fig 10(d): scratchpad sharing vs Unshared-TwoLevel");
-  return 0;
 }
+
+const runner::BenchRegistrar reg{
+    {"fig10", "sharing vs stronger scheduler baselines (GTO, TwoLevel)", build, present}};
+
+}  // namespace
+}  // namespace grs

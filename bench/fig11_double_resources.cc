@@ -5,37 +5,58 @@
 // The paper's point: sharing recovers a useful fraction of what doubling the
 // physical resource would buy — for free. (Absolute IPC, like the paper's
 // Fig. 11, not % improvement.)
-#include <cstdio>
+#include <string>
 
 #include "common/config.h"
 #include "common/table.h"
-#include "gpu/simulator.h"
+#include "runner/registry.h"
 #include "workloads/suites.h"
 
-using namespace grs;
+namespace grs {
+namespace {
 
-int main() {
-  {
-    GpuConfig doubled = configs::unshared();
-    doubled.registers_per_sm = 65536;
-    const GpuConfig shared = configs::shared_owf_unroll_dyn(Resource::kRegisters);
-    TextTable t({"application", "Unshared-LRR-Reg#65536", "Shared-OWF-Unroll-Dyn-Reg#32768"});
-    for (const KernelInfo& k : workloads::set1()) {
-      t.add_row({k.name, TextTable::fmt(simulate(doubled, k).stats.ipc()),
-                 TextTable::fmt(simulate(shared, k).stats.ipc())});
-    }
-    t.print("Fig 11(a): IPC, double registers vs register sharing");
-  }
-  {
-    GpuConfig doubled = configs::unshared();
-    doubled.scratchpad_per_sm = 32 * 1024;
-    const GpuConfig shared = configs::shared_owf(Resource::kScratchpad);
-    TextTable t({"application", "Unshared-LRR-ShMem#32K", "Shared-OWF-ShMem#16K"});
-    for (const KernelInfo& k : workloads::set2()) {
-      t.add_row({k.name, TextTable::fmt(simulate(doubled, k).stats.ipc()),
-                 TextTable::fmt(simulate(shared, k).stats.ipc())});
-    }
-    t.print("Fig 11(b): IPC, double scratchpad vs scratchpad sharing");
-  }
-  return 0;
+constexpr const char* kDoubleRegs = "Unshared-LRR-Reg#65536";
+constexpr const char* kSharedRegs = "Shared-OWF-Unroll-Dyn-Reg#32768";
+constexpr const char* kDoubleSmem = "Unshared-LRR-ShMem#32K";
+constexpr const char* kSharedSmem = "Shared-OWF-ShMem#16K";
+
+runner::SweepSpec build() {
+  runner::SweepSpec s;
+  GpuConfig doubled_regs = configs::unshared();
+  doubled_regs.registers_per_sm = 65536;
+  s.add_grid({{kDoubleRegs, doubled_regs},
+              {kSharedRegs, configs::shared_owf_unroll_dyn(Resource::kRegisters)}},
+             workloads::set1());
+  GpuConfig doubled_smem = configs::unshared();
+  doubled_smem.scratchpad_per_sm = 32 * 1024;
+  s.add_grid({{kDoubleSmem, doubled_smem},
+              {kSharedSmem, configs::shared_owf(Resource::kScratchpad)}},
+             workloads::set2());
+  return s;
 }
+
+void panel(const runner::BenchView& v, const std::vector<KernelInfo>& kernels,
+           const char* doubled_label, const char* shared_label, const char* caption) {
+  TextTable t({"application", doubled_label, shared_label});
+  for (const KernelInfo& k : kernels) {
+    const SimResult* doubled = v.find(doubled_label, k.name);
+    const SimResult* shared = v.find(shared_label, k.name);
+    if (doubled == nullptr || shared == nullptr) continue;
+    t.add_row({k.name, TextTable::fmt(doubled->stats.ipc()),
+               TextTable::fmt(shared->stats.ipc())});
+  }
+  t.print(caption);
+}
+
+void present(const runner::BenchView& v) {
+  panel(v, workloads::set1(), kDoubleRegs, kSharedRegs,
+        "Fig 11(a): IPC, double registers vs register sharing");
+  panel(v, workloads::set2(), kDoubleSmem, kSharedSmem,
+        "Fig 11(b): IPC, double scratchpad vs scratchpad sharing");
+}
+
+const runner::BenchRegistrar reg{
+    {"fig11", "sharing vs doubling the physical resource", build, present}};
+
+}  // namespace
+}  // namespace grs

@@ -5,45 +5,73 @@
 //   Shared-OWF(-Unroll-Dyn) ~= Unshared-GTO   (OWF over all-unshared warps
 //                                              degenerates to GTO order)
 //   (a) register-sharing runtime enabled   (b) scratchpad-sharing runtime
-#include <cstdio>
+#include <string>
 
 #include "common/config.h"
 #include "common/table.h"
-#include "gpu/simulator.h"
+#include "runner/registry.h"
 #include "workloads/suites.h"
 
-using namespace grs;
-
+namespace grs {
 namespace {
 
-void panel(Resource res, bool with_reg_opts, const char* caption) {
+GpuConfig shared_with(Resource res, bool with_reg_opts, SchedulerKind sched) {
+  GpuConfig c =
+      with_reg_opts ? configs::shared_unroll_dyn(res) : configs::shared_noopt(res);
+  c.scheduler = sched;
+  return c;
+}
+
+GpuConfig owf_config(Resource res, bool with_reg_opts) {
+  return with_reg_opts ? configs::shared_owf_unroll_dyn(res) : configs::shared_owf(res);
+}
+
+runner::SweepSpec build() {
+  runner::SweepSpec s;
+  s.add_grid({runner::ConfigVariant::of(configs::unshared(SchedulerKind::kLrr)),
+              runner::ConfigVariant::of(configs::unshared(SchedulerKind::kGto))},
+             workloads::set3());
+  for (const auto& [res, opts] :
+       {std::pair<Resource, bool>{Resource::kRegisters, true},
+        std::pair<Resource, bool>{Resource::kScratchpad, false}}) {
+    s.add_grid({runner::ConfigVariant::of(shared_with(res, opts, SchedulerKind::kLrr)),
+                runner::ConfigVariant::of(shared_with(res, opts, SchedulerKind::kGto)),
+                runner::ConfigVariant::of(owf_config(res, opts))},
+               workloads::set3());
+  }
+  return s;
+}
+
+void panel(const runner::BenchView& v, Resource res, bool with_reg_opts,
+           const char* caption) {
   TextTable t({"application", "Unshared-LRR", "Shared-LRR", "Unshared-GTO", "Shared-GTO",
                "Shared-OWF"});
   for (const KernelInfo& k : workloads::set3()) {
-    auto shared_with = [&](SchedulerKind sched) {
-      GpuConfig c = with_reg_opts ? configs::shared_unroll_dyn(res)
-                                  : configs::shared_noopt(res);
-      c.scheduler = sched;
-      return simulate(c, k).stats.ipc();
-    };
-    GpuConfig owf = with_reg_opts ? configs::shared_owf_unroll_dyn(res)
-                                  : configs::shared_owf(res);
-    t.add_row({k.name,
-               TextTable::fmt(simulate(configs::unshared(SchedulerKind::kLrr), k).stats.ipc()),
-               TextTable::fmt(shared_with(SchedulerKind::kLrr)),
-               TextTable::fmt(simulate(configs::unshared(SchedulerKind::kGto), k).stats.ipc()),
-               TextTable::fmt(shared_with(SchedulerKind::kGto)),
-               TextTable::fmt(simulate(owf, k).stats.ipc())});
+    std::vector<const SimResult*> cells = {
+        v.find("Unshared-LRR", k.name),
+        v.find(shared_with(res, with_reg_opts, SchedulerKind::kLrr).line_label(), k.name),
+        v.find("Unshared-GTO", k.name),
+        v.find(shared_with(res, with_reg_opts, SchedulerKind::kGto).line_label(), k.name),
+        v.find(owf_config(res, with_reg_opts).line_label(), k.name)};
+    std::vector<std::string> row{k.name};
+    for (const SimResult* r : cells) {
+      if (r == nullptr) break;
+      row.push_back(TextTable::fmt(r->stats.ipc()));
+    }
+    if (row.size() == 6) t.add_row(std::move(row));
   }
   t.print(caption);
 }
 
-}  // namespace
-
-int main() {
-  panel(Resource::kRegisters, /*with_reg_opts=*/true,
+void present(const runner::BenchView& v) {
+  panel(v, Resource::kRegisters, /*with_reg_opts=*/true,
         "Fig 12(a): Set-3 under the register-sharing runtime");
-  panel(Resource::kScratchpad, /*with_reg_opts=*/false,
+  panel(v, Resource::kScratchpad, /*with_reg_opts=*/false,
         "Fig 12(b): Set-3 under the scratchpad-sharing runtime");
-  return 0;
 }
+
+const runner::BenchRegistrar reg{
+    {"fig12", "Set-3 kernels: the sharing runtime leaves them untouched", build, present}};
+
+}  // namespace
+}  // namespace grs

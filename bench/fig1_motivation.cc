@@ -7,33 +7,43 @@
 //
 // These are pure occupancy results, so they reproduce the paper exactly
 // (e.g. hotspot: 36 regs x 256 threads = 9216/block, ⌊32768/9216⌋ = 3 blocks,
-// 5120 registers = 15.6% wasted).
-#include <cstdio>
+// 5120 registers = 15.6% wasted). No cycle-level simulation is needed: like
+// hw_cost, this bench has an empty sweep grid and evaluates the closed-form
+// occupancy model in its presenter.
+#include <string>
 
 #include "common/config.h"
 #include "common/table.h"
 #include "core/occupancy.h"
+#include "runner/registry.h"
 #include "workloads/suites.h"
 
-using namespace grs;
+namespace grs {
+namespace {
 
-int main() {
+runner::SweepSpec build() { return runner::SweepSpec{}; }
+
+void waste_table(const std::vector<KernelInfo>& kernels, const char* resource_column,
+                 const char* caption) {
   const GpuConfig cfg = configs::unshared();
-
-  TextTable reg({"application", "resident blocks", "register waste %"});
-  for (const KernelInfo& k : workloads::set1()) {
+  TextTable t({"application", "resident blocks", resource_column});
+  for (const KernelInfo& k : kernels) {
     const Occupancy o = compute_occupancy(cfg, k.resources);
-    reg.add_row({k.name, std::to_string(o.baseline_blocks),
-                 TextTable::fmt(o.baseline_waste_percent, 1)});
+    t.add_row({k.name, std::to_string(o.baseline_blocks),
+               TextTable::fmt(o.baseline_waste_percent, 1)});
   }
-  reg.print("Fig 1(a,b): Set-1, baseline residency and register wastage");
-
-  TextTable smem({"application", "resident blocks", "scratchpad waste %"});
-  for (const KernelInfo& k : workloads::set2()) {
-    const Occupancy o = compute_occupancy(cfg, k.resources);
-    smem.add_row({k.name, std::to_string(o.baseline_blocks),
-                  TextTable::fmt(o.baseline_waste_percent, 1)});
-  }
-  smem.print("Fig 1(c,d): Set-2, baseline residency and scratchpad wastage");
-  return 0;
+  t.print(caption);
 }
+
+void present(const runner::BenchView&) {
+  waste_table(workloads::set1(), "register waste %",
+              "Fig 1(a,b): Set-1, baseline residency and register wastage");
+  waste_table(workloads::set2(), "scratchpad waste %",
+              "Fig 1(c,d): Set-2, baseline residency and scratchpad wastage");
+}
+
+const runner::BenchRegistrar reg{
+    {"fig1", "motivation: baseline residency and resource wastage", build, present}};
+
+}  // namespace
+}  // namespace grs

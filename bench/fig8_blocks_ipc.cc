@@ -5,42 +5,60 @@
 //   (d) % IPC improvement of scratchpad sharing over Unshared-LRR (Set-2)
 //
 // Sharing threshold t = 0.1 (90% sharing), the paper's default.
-#include <cstdio>
+#include <string>
 
 #include "common/config.h"
 #include "common/table.h"
-#include "gpu/simulator.h"
+#include "runner/registry.h"
 #include "workloads/suites.h"
 
-using namespace grs;
-
+namespace grs {
 namespace {
 
-void run_set(const std::vector<KernelInfo>& kernels, const GpuConfig& shared_cfg,
-             const char* blocks_caption, const char* ipc_caption) {
-  TextTable blocks({"application", "Unshared-LRR", shared_cfg.line_label().c_str()});
+GpuConfig shared_reg() { return configs::shared_owf_unroll_dyn(Resource::kRegisters, 0.1); }
+GpuConfig shared_smem() { return configs::shared_owf(Resource::kScratchpad, 0.1); }
+
+runner::SweepSpec build() {
+  runner::SweepSpec s;
+  s.add_grid({runner::ConfigVariant::of(configs::unshared()),
+              runner::ConfigVariant::of(shared_reg())},
+             workloads::set1());
+  s.add_grid({runner::ConfigVariant::of(configs::unshared()),
+              runner::ConfigVariant::of(shared_smem())},
+             workloads::set2());
+  return s;
+}
+
+void present_set(const runner::BenchView& v, const std::vector<KernelInfo>& kernels,
+                 const std::string& shared_label, const char* blocks_caption,
+                 const char* ipc_caption) {
+  TextTable blocks({"application", "Unshared-LRR", shared_label});
   TextTable ipc({"application", "baseline IPC", "shared IPC", "improvement"});
   for (const KernelInfo& k : kernels) {
-    const SimResult base = simulate(configs::unshared(), k);
-    const SimResult shared = simulate(shared_cfg, k);
-    blocks.add_row({k.name, std::to_string(base.occupancy.total_blocks),
-                    std::to_string(shared.occupancy.total_blocks)});
-    ipc.add_row({k.name, TextTable::fmt(base.stats.ipc()),
-                 TextTable::fmt(shared.stats.ipc()),
-                 TextTable::pct(percent_improvement(base.stats.ipc(), shared.stats.ipc()))});
+    const SimResult* base = v.find("Unshared-LRR", k.name);
+    const SimResult* shared = v.find(shared_label, k.name);
+    if (base == nullptr || shared == nullptr) continue;
+    blocks.add_row({k.name, std::to_string(base->occupancy.total_blocks),
+                    std::to_string(shared->occupancy.total_blocks)});
+    ipc.add_row({k.name, TextTable::fmt(base->stats.ipc()),
+                 TextTable::fmt(shared->stats.ipc()),
+                 TextTable::pct(percent_improvement(base->stats.ipc(), shared->stats.ipc()))});
   }
   blocks.print(blocks_caption);
   ipc.print(ipc_caption);
 }
 
-}  // namespace
-
-int main() {
-  run_set(workloads::set1(), configs::shared_owf_unroll_dyn(Resource::kRegisters, 0.1),
-          "Fig 8(a): resident blocks, register sharing",
-          "Fig 8(c): IPC improvement, register sharing (Shared-OWF-Unroll-Dyn)");
-  run_set(workloads::set2(), configs::shared_owf(Resource::kScratchpad, 0.1),
-          "Fig 8(b): resident blocks, scratchpad sharing",
-          "Fig 8(d): IPC improvement, scratchpad sharing (Shared-OWF)");
-  return 0;
+void present(const runner::BenchView& v) {
+  present_set(v, workloads::set1(), shared_reg().line_label(),
+              "Fig 8(a): resident blocks, register sharing",
+              "Fig 8(c): IPC improvement, register sharing (Shared-OWF-Unroll-Dyn)");
+  present_set(v, workloads::set2(), shared_smem().line_label(),
+              "Fig 8(b): resident blocks, scratchpad sharing",
+              "Fig 8(d): IPC improvement, scratchpad sharing (Shared-OWF)");
 }
+
+const runner::BenchRegistrar reg{
+    {"fig8", "headline: resident blocks and IPC improvement at 90% sharing", build, present}};
+
+}  // namespace
+}  // namespace grs

@@ -4,72 +4,95 @@
 //   (b) scratchpad sharing: Shared-LRR-NoOpt / Shared-OWF (Set-2)
 //   (c) % decrease in stall and idle cycles, register sharing (Set-1)
 //   (d) % decrease in stall and idle cycles, scratchpad sharing (Set-2)
-#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
 #include "common/table.h"
-#include "gpu/simulator.h"
+#include "runner/registry.h"
 #include "workloads/suites.h"
 
-using namespace grs;
+namespace grs {
+namespace {
 
-int main() {
-  // ---- (a) register-sharing ablation --------------------------------------
-  {
-    TextTable t({"application", "Shared-LRR-NoOpt", "Shared-LRR-Unroll",
-                 "Shared-LRR-Unroll-Dyn", "Shared-OWF-Unroll-Dyn"});
-    for (const KernelInfo& k : workloads::set1()) {
-      const double base = simulate(configs::unshared(), k).stats.ipc();
-      std::vector<std::string> row{k.name};
-      for (const GpuConfig& c : {configs::shared_noopt(Resource::kRegisters),
-                                 configs::shared_unroll(Resource::kRegisters),
-                                 configs::shared_unroll_dyn(Resource::kRegisters),
-                                 configs::shared_owf_unroll_dyn(Resource::kRegisters)}) {
-        row.push_back(TextTable::pct(
-            percent_improvement(base, simulate(c, k).stats.ipc())));
-      }
-      t.add_row(std::move(row));
-    }
-    t.print("Fig 9(a): register-sharing optimization ablation (vs Unshared-LRR)");
-  }
-
-  // ---- (b) scratchpad-sharing ablation -------------------------------------
-  {
-    TextTable t({"application", "Shared-LRR-NoOpt", "Shared-OWF"});
-    for (const KernelInfo& k : workloads::set2()) {
-      const double base = simulate(configs::unshared(), k).stats.ipc();
-      t.add_row({k.name,
-                 TextTable::pct(percent_improvement(
-                     base, simulate(configs::shared_noopt(Resource::kScratchpad), k)
-                               .stats.ipc())),
-                 TextTable::pct(percent_improvement(
-                     base,
-                     simulate(configs::shared_owf(Resource::kScratchpad), k).stats.ipc()))});
-    }
-    t.print("Fig 9(b): scratchpad-sharing optimization ablation (vs Unshared-LRR)");
-  }
-
-  // ---- (c)/(d) stall & idle cycle decrease ---------------------------------
-  auto cycle_table = [](const std::vector<KernelInfo>& kernels, const GpuConfig& shared,
-                        const char* caption) {
-    TextTable t({"application", "stall decrease", "idle decrease"});
-    for (const KernelInfo& k : kernels) {
-      const SimResult b = simulate(configs::unshared(), k);
-      const SimResult s = simulate(shared, k);
-      t.add_row({k.name,
-                 TextTable::pct(percent_decrease(
-                     static_cast<double>(b.stats.sm_total.stall_cycles),
-                     static_cast<double>(s.stats.sm_total.stall_cycles))),
-                 TextTable::pct(percent_decrease(
-                     static_cast<double>(b.stats.sm_total.idle_cycles),
-                     static_cast<double>(s.stats.sm_total.idle_cycles)))});
-    }
-    t.print(caption);
-  };
-  cycle_table(workloads::set1(), configs::shared_owf_unroll_dyn(Resource::kRegisters),
-              "Fig 9(c): cycle decrease, register sharing");
-  cycle_table(workloads::set2(), configs::shared_owf(Resource::kScratchpad),
-              "Fig 9(d): cycle decrease, scratchpad sharing");
-  return 0;
+std::vector<runner::ConfigVariant> reg_variants() {
+  return {runner::ConfigVariant::of(configs::shared_noopt(Resource::kRegisters)),
+          runner::ConfigVariant::of(configs::shared_unroll(Resource::kRegisters)),
+          runner::ConfigVariant::of(configs::shared_unroll_dyn(Resource::kRegisters)),
+          runner::ConfigVariant::of(configs::shared_owf_unroll_dyn(Resource::kRegisters))};
 }
+
+std::vector<runner::ConfigVariant> smem_variants() {
+  return {runner::ConfigVariant::of(configs::shared_noopt(Resource::kScratchpad)),
+          runner::ConfigVariant::of(configs::shared_owf(Resource::kScratchpad))};
+}
+
+runner::SweepSpec build() {
+  runner::SweepSpec s;
+  auto set1 = reg_variants();
+  set1.insert(set1.begin(), runner::ConfigVariant::of(configs::unshared()));
+  s.add_grid(set1, workloads::set1());
+  auto set2 = smem_variants();
+  set2.insert(set2.begin(), runner::ConfigVariant::of(configs::unshared()));
+  s.add_grid(set2, workloads::set2());
+  return s;
+}
+
+void ablation_table(const runner::BenchView& v, const std::vector<KernelInfo>& kernels,
+                    const std::vector<std::string>& columns,
+                    const std::vector<runner::ConfigVariant>& variants, const char* caption) {
+  std::vector<std::string> header{"application"};
+  header.insert(header.end(), columns.begin(), columns.end());
+  TextTable t(header);
+  for (const KernelInfo& k : kernels) {
+    const SimResult* base = v.find("Unshared-LRR", k.name);
+    if (base == nullptr) continue;
+    std::vector<std::string> row{k.name};
+    for (const runner::ConfigVariant& var : variants) {
+      const SimResult* r = v.find(var.label, k.name);
+      if (r == nullptr) continue;
+      row.push_back(TextTable::pct(percent_improvement(base->stats.ipc(), r->stats.ipc())));
+    }
+    if (row.size() == header.size()) t.add_row(std::move(row));
+  }
+  t.print(caption);
+}
+
+void cycle_table(const runner::BenchView& v, const std::vector<KernelInfo>& kernels,
+                 const std::string& shared_label, const char* caption) {
+  TextTable t({"application", "stall decrease", "idle decrease"});
+  for (const KernelInfo& k : kernels) {
+    const SimResult* b = v.find("Unshared-LRR", k.name);
+    const SimResult* s = v.find(shared_label, k.name);
+    if (b == nullptr || s == nullptr) continue;
+    t.add_row({k.name,
+               TextTable::pct(percent_decrease(
+                   static_cast<double>(b->stats.sm_total.stall_cycles),
+                   static_cast<double>(s->stats.sm_total.stall_cycles))),
+               TextTable::pct(percent_decrease(
+                   static_cast<double>(b->stats.sm_total.idle_cycles),
+                   static_cast<double>(s->stats.sm_total.idle_cycles)))});
+  }
+  t.print(caption);
+}
+
+void present(const runner::BenchView& v) {
+  ablation_table(v, workloads::set1(),
+                 {"Shared-LRR-NoOpt", "Shared-LRR-Unroll", "Shared-LRR-Unroll-Dyn",
+                  "Shared-OWF-Unroll-Dyn"},
+                 reg_variants(),
+                 "Fig 9(a): register-sharing optimization ablation (vs Unshared-LRR)");
+  ablation_table(v, workloads::set2(), {"Shared-LRR-NoOpt", "Shared-OWF"}, smem_variants(),
+                 "Fig 9(b): scratchpad-sharing optimization ablation (vs Unshared-LRR)");
+  cycle_table(v, workloads::set1(),
+              configs::shared_owf_unroll_dyn(Resource::kRegisters).line_label(),
+              "Fig 9(c): cycle decrease, register sharing");
+  cycle_table(v, workloads::set2(), configs::shared_owf(Resource::kScratchpad).line_label(),
+              "Fig 9(d): cycle decrease, scratchpad sharing");
+}
+
+const runner::BenchRegistrar reg{
+    {"fig9", "optimization ablation and stall/idle cycle accounting", build, present}};
+
+}  // namespace
+}  // namespace grs

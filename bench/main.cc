@@ -1,0 +1,133 @@
+// grs_bench — unified driver for every paper figure/table sweep.
+//
+//   grs_bench --list
+//   grs_bench fig8 fig10                 # reproduce figures 8 and 10
+//   grs_bench all --threads 8 --out results.csv
+//   grs_bench table5_6 --filter hotspot  # one kernel's sharing sweep
+//
+//   <bench...>|all    benches to run (see --list)
+//   --list            list registered benches and exit
+//   --threads N       worker threads (default: hardware concurrency)
+//   --filter SUBSTR   only kernels whose name contains SUBSTR (case-insensitive).
+//                     Benches with no per-kernel simulation (fig1, hw_cost)
+//                     evaluate closed-form models and print in full regardless.
+//   --out FILE        write CSV rows of every sweep point to FILE
+//   --json FILE       write the same rows as a JSON array to FILE
+//   --table           also print the generic per-sweep console table
+//   --quiet           skip the paper-shaped tables (sinks still run)
+//
+// Paper tables go to stdout; progress/status go to stderr, so
+// `grs_bench fig8 > fig8.txt` matches the output of the old serial driver
+// byte for byte.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/registry.h"
+#include "runner/sink.h"
+
+using namespace grs;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n(see the header of bench/main.cc, or --list)\n",
+               msg.c_str());
+  std::exit(2);
+}
+
+void list_benches() {
+  for (const runner::BenchDef* b : runner::all_benches())
+    std::printf("%-14s %s\n", b->name.c_str(), b->title.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> selected;
+  std::string filter, out_csv, out_json;
+  unsigned threads = 0;
+  bool table = false, quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--list") {
+      list_benches();
+      return 0;
+    } else if (a == "--threads") {
+      threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    } else if (a == "--filter") {
+      filter = next();
+    } else if (a == "--out") {
+      out_csv = next();
+    } else if (a == "--json") {
+      out_json = next();
+    } else if (a == "--table") {
+      table = true;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      usage("unknown flag " + a);
+    } else {
+      selected.push_back(a);
+    }
+  }
+
+  std::vector<const runner::BenchDef*> to_run;
+  if (selected.empty()) usage("no bench selected; use --list or 'all'");
+  if (selected.size() == 1 && selected[0] == "all") {
+    to_run = runner::all_benches();
+  } else {
+    for (const std::string& name : selected) {
+      if (name == "all") usage("'all' cannot be combined with bench names");
+      const runner::BenchDef* b = runner::find_bench(name);
+      if (b == nullptr) usage("unknown bench '" + name + "'");
+      // Dedupe: a bench named twice would write duplicate sink rows.
+      if (std::find(to_run.begin(), to_run.end(), b) == to_run.end()) to_run.push_back(b);
+    }
+  }
+
+  std::ofstream csv_file, json_file;
+  std::vector<std::unique_ptr<runner::ResultSink>> sinks;
+  if (!out_csv.empty()) {
+    csv_file.open(out_csv);
+    if (!csv_file) usage("cannot open " + out_csv);
+    sinks.push_back(std::make_unique<runner::CsvSink>(csv_file));
+  }
+  if (!out_json.empty()) {
+    json_file.open(out_json);
+    if (!json_file) usage("cannot open " + out_json);
+    sinks.push_back(std::make_unique<runner::JsonSink>(json_file));
+  }
+  if (table) sinks.push_back(std::make_unique<runner::ConsoleTableSink>());
+
+  for (auto& s : sinks) s->begin();
+  for (const runner::BenchDef* b : to_run) {
+    runner::SweepSpec spec = b->build();
+    spec.filter_kernels(filter);
+
+    runner::RunOptions options;
+    options.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<runner::SweepRow> rows = runner::run_sweep(spec, options);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    std::fprintf(stderr, "[grs_bench] %s: %zu points in %.2fs\n", b->name.c_str(),
+                 rows.size(), secs);
+
+    for (const runner::SweepRow& row : rows)
+      for (auto& s : sinks) s->add(b->name, row);
+    if (!quiet && b->present) b->present(runner::BenchView(rows));
+  }
+  for (auto& s : sinks) s->end();
+  return 0;
+}

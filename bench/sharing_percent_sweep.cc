@@ -1,0 +1,52 @@
+#include "sharing_percent_sweep.h"
+
+#include "common/table.h"
+
+namespace grs::bench {
+
+namespace {
+
+const std::vector<double>& percents() {
+  static const std::vector<double> p{0, 10, 30, 50, 70, 90};
+  return p;
+}
+
+std::string percent_label(double p) { return TextTable::fmt(p, 0) + "%"; }
+
+}  // namespace
+
+runner::SweepSpec build_percent_sweep(const PercentSweep& sweep) {
+  runner::SweepSpec s;
+  std::vector<runner::ConfigVariant> variants;
+  for (double p : percents()) {
+    const double t = 1.0 - p / 100.0;
+    variants.push_back({percent_label(p), sweep.factory(sweep.resource, t)});
+  }
+  s.add_grid(variants, sweep.kernels());
+  return s;
+}
+
+void present_percent_sweep(const PercentSweep& sweep, const runner::BenchView& v) {
+  std::vector<std::string> header{"% sharing"};
+  for (double p : percents()) header.push_back(percent_label(p));
+
+  TextTable ipc(header);
+  TextTable blocks(header);
+  for (const KernelInfo& k : sweep.kernels()) {
+    std::vector<std::string> ipc_row{k.name};
+    std::vector<std::string> blk_row{k.name};
+    for (double p : percents()) {
+      const SimResult* r = v.find(percent_label(p), k.name);
+      if (r == nullptr) break;
+      ipc_row.push_back(TextTable::fmt(r->stats.ipc(), 1));
+      blk_row.push_back(std::to_string(r->occupancy.total_blocks));
+    }
+    if (ipc_row.size() != header.size()) continue;
+    ipc.add_row(std::move(ipc_row));
+    blocks.add_row(std::move(blk_row));
+  }
+  ipc.print(sweep.ipc_caption);
+  blocks.print(sweep.blocks_caption);
+}
+
+}  // namespace grs::bench

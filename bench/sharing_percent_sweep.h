@@ -1,0 +1,31 @@
+// Shared skeleton for the paper's sharing-percentage sweeps (Tables V-VIII):
+// the same 0/10/30/50/70/90 % grid applied to a configurable sharing line and
+// workload set, rendered as an IPC table and a resident-blocks table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "runner/registry.h"
+#include "workloads/kernel_info.h"
+
+namespace grs::bench {
+
+struct PercentSweep {
+  /// Sharing line at threshold t, e.g. configs::shared_owf_unroll_dyn.
+  GpuConfig (*factory)(Resource, double);
+  Resource resource;
+  /// Workload set the sweep runs over, e.g. workloads::set1.
+  std::vector<KernelInfo> (*kernels)();
+  const char* ipc_caption;
+  const char* blocks_caption;
+};
+
+/// The sweep grid: one variant per sharing percentage x every kernel.
+[[nodiscard]] runner::SweepSpec build_percent_sweep(const PercentSweep& sweep);
+
+/// The two paper tables (IPC, resident blocks) from the collected results.
+void present_percent_sweep(const PercentSweep& sweep, const runner::BenchView& view);
+
+}  // namespace grs::bench

@@ -4,37 +4,26 @@
 //
 // The paper's key shapes: rows are flat until Eq. 4 admits extra blocks, most
 // kernels peak at 90%, and the block counts match Table VI exactly.
-#include <cstdio>
-#include <vector>
-
 #include "common/config.h"
-#include "common/table.h"
-#include "gpu/simulator.h"
+#include "runner/registry.h"
+#include "sharing_percent_sweep.h"
 #include "workloads/suites.h"
 
-using namespace grs;
+namespace grs {
+namespace {
 
-int main() {
-  const std::vector<double> percents{0, 10, 30, 50, 70, 90};
-  std::vector<std::string> header{"% sharing"};
-  for (double p : percents) header.push_back(TextTable::fmt(p, 0) + "%");
-
-  TextTable ipc(header);
-  TextTable blocks(header);
-  for (const KernelInfo& k : workloads::set1()) {
-    std::vector<std::string> ipc_row{k.name};
-    std::vector<std::string> blk_row{k.name};
-    for (double p : percents) {
-      const double t = 1.0 - p / 100.0;
-      const SimResult r =
-          simulate(configs::shared_owf_unroll_dyn(Resource::kRegisters, t), k);
-      ipc_row.push_back(TextTable::fmt(r.stats.ipc(), 1));
-      blk_row.push_back(std::to_string(r.occupancy.total_blocks));
-    }
-    ipc.add_row(std::move(ipc_row));
-    blocks.add_row(std::move(blk_row));
-  }
-  ipc.print("Table V: IPC vs register-sharing percentage (Shared-OWF-Unroll-Dyn)");
-  blocks.print("Table VI: resident thread blocks vs register-sharing percentage");
-  return 0;
+const bench::PercentSweep& sweep() {
+  static const bench::PercentSweep s{
+      configs::shared_owf_unroll_dyn, Resource::kRegisters, workloads::set1,
+      "Table V: IPC vs register-sharing percentage (Shared-OWF-Unroll-Dyn)",
+      "Table VI: resident thread blocks vs register-sharing percentage"};
+  return s;
 }
+
+const runner::BenchRegistrar reg{
+    {"table5_6", "register sharing: IPC and blocks vs sharing percentage",
+     [] { return bench::build_percent_sweep(sweep()); },
+     [](const runner::BenchView& v) { bench::present_percent_sweep(sweep(), v); }}};
+
+}  // namespace
+}  // namespace grs

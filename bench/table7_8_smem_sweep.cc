@@ -5,36 +5,26 @@
 // Key shapes: block counts match the paper's Table VIII exactly (e.g. lavaMD
 // 2->4 only at 90%, SRAD2 5 at 90%), and SRAD1 peaks at 50% because its loop
 // working range is private at t=0.5 but shared at t=0.1 (paper §VI-B.1).
-#include <cstdio>
-#include <vector>
-
 #include "common/config.h"
-#include "common/table.h"
-#include "gpu/simulator.h"
+#include "runner/registry.h"
+#include "sharing_percent_sweep.h"
 #include "workloads/suites.h"
 
-using namespace grs;
+namespace grs {
+namespace {
 
-int main() {
-  const std::vector<double> percents{0, 10, 30, 50, 70, 90};
-  std::vector<std::string> header{"% sharing"};
-  for (double p : percents) header.push_back(TextTable::fmt(p, 0) + "%");
-
-  TextTable ipc(header);
-  TextTable blocks(header);
-  for (const KernelInfo& k : workloads::set2()) {
-    std::vector<std::string> ipc_row{k.name};
-    std::vector<std::string> blk_row{k.name};
-    for (double p : percents) {
-      const double t = 1.0 - p / 100.0;
-      const SimResult r = simulate(configs::shared_owf(Resource::kScratchpad, t), k);
-      ipc_row.push_back(TextTable::fmt(r.stats.ipc(), 1));
-      blk_row.push_back(std::to_string(r.occupancy.total_blocks));
-    }
-    ipc.add_row(std::move(ipc_row));
-    blocks.add_row(std::move(blk_row));
-  }
-  ipc.print("Table VII: IPC vs scratchpad-sharing percentage (Shared-OWF)");
-  blocks.print("Table VIII: resident thread blocks vs scratchpad-sharing percentage");
-  return 0;
+const bench::PercentSweep& sweep() {
+  static const bench::PercentSweep s{
+      configs::shared_owf, Resource::kScratchpad, workloads::set2,
+      "Table VII: IPC vs scratchpad-sharing percentage (Shared-OWF)",
+      "Table VIII: resident thread blocks vs scratchpad-sharing percentage"};
+  return s;
 }
+
+const runner::BenchRegistrar reg{
+    {"table7_8", "scratchpad sharing: IPC and blocks vs sharing percentage",
+     [] { return bench::build_percent_sweep(sweep()); },
+     [](const runner::BenchView& v) { bench::present_percent_sweep(sweep(), v); }}};
+
+}  // namespace
+}  // namespace grs

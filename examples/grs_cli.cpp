@@ -1,7 +1,7 @@
 // grs_cli — run any paper kernel under any configuration from the command
 // line; the Swiss-army knife for exploring the simulator.
 //
-//   grs_cli --kernel hotspot --share registers --t 0.1 --sched owf \
+//   grs_cli --kernel hotspot --share registers --t 0.1 --sched owf
 //           [--unroll] [--dyn] [--grid N] [--compare]
 //
 //   --kernel NAME     one of the 19 paper kernels (default hotspot)
@@ -13,13 +13,21 @@
 //   --grid N          override grid size
 //   --compare         also run Unshared-LRR and print the delta
 //   --list            list kernels and exit
+//
+// Sweep mode (runs the configured line over *all* kernels in parallel via the
+// experiment engine, src/runner/):
+//
+//   grs_cli --sweep [--threads N] [--out results.csv] [--share ... --sched ...]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/config.h"
 #include "gpu/simulator.h"
+#include "runner/engine.h"
+#include "runner/sink.h"
 #include "workloads/suites.h"
 
 using namespace grs;
@@ -44,10 +52,12 @@ SchedulerKind parse_sched(const std::string& s) {
 int main(int argc, char** argv) {
   std::string kernel_name = "hotspot";
   std::string share = "none";
+  std::string out_csv;
   double t = 0.1;
   SchedulerKind sched = SchedulerKind::kLrr;
-  bool unroll = false, dyn = false, compare = false;
+  bool unroll = false, dyn = false, compare = false, sweep = false, kernel_set = false;
   std::uint32_t grid = 0;
+  unsigned threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -55,7 +65,10 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(("missing value for " + a).c_str());
       return argv[++i];
     };
-    if (a == "--kernel") kernel_name = next();
+    if (a == "--kernel") {
+      kernel_name = next();
+      kernel_set = true;
+    }
     else if (a == "--share") share = next();
     else if (a == "--t") t = std::atof(next().c_str());
     else if (a == "--sched") sched = parse_sched(next());
@@ -63,6 +76,9 @@ int main(int argc, char** argv) {
     else if (a == "--dyn") dyn = true;
     else if (a == "--grid") grid = static_cast<std::uint32_t>(std::atoi(next().c_str()));
     else if (a == "--compare") compare = true;
+    else if (a == "--sweep") sweep = true;
+    else if (a == "--threads") threads = static_cast<unsigned>(std::atoi(next().c_str()));
+    else if (a == "--out") out_csv = next();
     else if (a == "--list") {
       for (const auto& n : workloads::all_names()) std::printf("%s\n", n.c_str());
       return 0;
@@ -86,6 +102,34 @@ int main(int argc, char** argv) {
     cfg.sharing.owf = sched == SchedulerKind::kOwf;
   }
   cfg.validate();
+
+  if (sweep) {
+    if (kernel_set || grid != 0 || compare)
+      usage("--sweep runs every kernel; --kernel/--grid/--compare do not apply");
+    runner::SweepSpec spec;
+    for (const auto& name : workloads::all_names())
+      spec.add(cfg.line_label(), cfg, workloads::by_name(name));
+
+    runner::RunOptions options;
+    options.threads = threads;
+    const auto rows = runner::run_sweep(spec, options);
+
+    runner::ConsoleTableSink console;
+    console.begin();
+    for (const auto& row : rows) console.add(cfg.line_label(), row);
+    console.end();
+
+    if (!out_csv.empty()) {
+      std::ofstream f(out_csv);
+      if (!f) usage(("cannot open " + out_csv).c_str());
+      runner::CsvSink csv(f);
+      csv.begin();
+      for (const auto& row : rows) csv.add(cfg.line_label(), row);
+      csv.end();
+      std::printf("wrote %zu rows to %s\n", rows.size(), out_csv.c_str());
+    }
+    return 0;
+  }
 
   const SimResult r = simulate(cfg, kernel);
   std::printf("%s on %s (%u blocks of %u threads)\n", cfg.line_label().c_str(),

@@ -1,0 +1,42 @@
+#include "runner/engine.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "runner/thread_pool.h"
+
+namespace grs::runner {
+
+std::vector<SweepRow> run_sweep(const SweepSpec& spec, const RunOptions& options) {
+  const std::size_t n = spec.points.size();
+  std::vector<SweepRow> rows(n);
+  if (n == 0) return rows;
+
+  unsigned threads = options.threads == 0 ? ThreadPool::default_threads() : options.threads;
+  threads = static_cast<unsigned>(std::min<std::size_t>(threads, n));
+
+  // `done` is only mutated under the mutex so the callback sees a
+  // monotonically increasing count.
+  std::mutex progress_mu;
+  std::size_t done = 0;
+  auto run_point = [&](std::size_t i) {
+    rows[i].point = spec.points[i];
+    rows[i].result = simulate(spec.points[i].config, spec.points[i].kernel);
+    if (options.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      options.progress(++done, n);
+    }
+  };
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_point(i);
+    return rows;
+  }
+
+  ThreadPool pool(threads);
+  for (std::size_t i = 0; i < n; ++i) pool.submit([&run_point, i] { run_point(i); });
+  pool.wait();
+  return rows;
+}
+
+}  // namespace grs::runner

@@ -1,0 +1,39 @@
+// Parallel experiment engine: execute a SweepSpec across a worker pool.
+//
+// simulate() is pure and bit-deterministic (common/prng.h), so sweep points
+// are embarrassingly parallel; each worker writes into a pre-allocated result
+// slot and the returned vector is always in submission order. A sweep run
+// with 1 thread and with N threads produces byte-identical results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "gpu/simulator.h"
+#include "runner/sweep.h"
+
+namespace grs::runner {
+
+/// One completed sweep point.
+struct SweepRow {
+  SweepPoint point;
+  SimResult result;
+};
+
+struct RunOptions {
+  /// Worker threads; 0 means ThreadPool::default_threads(). Never more
+  /// workers than points.
+  unsigned threads = 0;
+
+  /// Optional progress callback, invoked from worker threads (internally
+  /// serialized) after each point completes as (done, total).
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// Run every point of `spec`. Returns one row per point, in spec order.
+/// An empty spec returns an empty vector without spawning workers.
+[[nodiscard]] std::vector<SweepRow> run_sweep(const SweepSpec& spec,
+                                              const RunOptions& options = {});
+
+}  // namespace grs::runner

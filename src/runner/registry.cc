@@ -1,0 +1,51 @@
+#include "runner/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace grs::runner {
+
+namespace {
+
+std::vector<BenchDef>& registry() {
+  static std::vector<BenchDef> benches;
+  return benches;
+}
+
+}  // namespace
+
+const SimResult* BenchView::find(const std::string& variant, const std::string& kernel) const {
+  for (const SweepRow& r : rows_) {
+    if (r.point.variant == variant && r.point.kernel.name == kernel) return &r.result;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> BenchView::kernels() const {
+  std::vector<std::string> names;
+  for (const SweepRow& r : rows_) {
+    if (std::find(names.begin(), names.end(), r.point.kernel.name) == names.end()) {
+      names.push_back(r.point.kernel.name);
+    }
+  }
+  return names;
+}
+
+void register_bench(BenchDef def) { registry().push_back(std::move(def)); }
+
+std::vector<const BenchDef*> all_benches() {
+  std::vector<const BenchDef*> out;
+  out.reserve(registry().size());
+  for (const BenchDef& b : registry()) out.push_back(&b);
+  std::sort(out.begin(), out.end(),
+            [](const BenchDef* a, const BenchDef* b) { return a->name < b->name; });
+  return out;
+}
+
+const BenchDef* find_bench(const std::string& name) {
+  for (const BenchDef& b : registry())
+    if (b.name == name) return &b;
+  return nullptr;
+}
+
+}  // namespace grs::runner

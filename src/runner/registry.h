@@ -1,0 +1,60 @@
+// Bench registry: each bench/*.cc file declares its sweep grid and a
+// presenter that renders the paper-shaped tables from the collected results.
+// The unified grs_bench CLI (bench/main.cc) looks benches up here.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/engine.h"
+#include "runner/sweep.h"
+
+namespace grs::runner {
+
+/// Indexed view over one bench's completed rows, for presenters.
+class BenchView {
+ public:
+  explicit BenchView(const std::vector<SweepRow>& rows) : rows_(rows) {}
+
+  [[nodiscard]] const std::vector<SweepRow>& rows() const { return rows_; }
+
+  /// The result of `variant` on `kernel`, or nullptr when that point was not
+  /// run (e.g. excluded by --filter).
+  [[nodiscard]] const SimResult* find(const std::string& variant,
+                                      const std::string& kernel) const;
+
+  /// Unique kernel names, in first-appearance (submission) order.
+  [[nodiscard]] std::vector<std::string> kernels() const;
+
+ private:
+  const std::vector<SweepRow>& rows_;
+};
+
+struct BenchDef {
+  std::string name;   ///< CLI name, e.g. "fig8"
+  std::string title;  ///< one-line description for --list
+  /// Build the full sweep grid (before any CLI filtering).
+  std::function<SweepSpec()> build;
+  /// Render the paper tables to stdout. Presenters must tolerate missing
+  /// points (BenchView::find returning nullptr) so --filter works. May be
+  /// null for benches that only produce generic sink output.
+  std::function<void(const BenchView&)> present;
+};
+
+/// Register a bench; called from static initializers in bench/*.cc.
+void register_bench(BenchDef def);
+
+/// All registered benches, sorted by name (static-init order is unspecified).
+[[nodiscard]] std::vector<const BenchDef*> all_benches();
+
+/// Lookup by CLI name; nullptr when unknown.
+[[nodiscard]] const BenchDef* find_bench(const std::string& name);
+
+/// Helper for static registration:
+///   static const runner::BenchRegistrar reg{{ "fig8", "...", build, present }};
+struct BenchRegistrar {
+  explicit BenchRegistrar(BenchDef def) { register_bench(std::move(def)); }
+};
+
+}  // namespace grs::runner

@@ -1,0 +1,157 @@
+#include "runner/sink.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/table.h"
+
+namespace grs::runner {
+
+namespace {
+
+std::string u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string f6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/// Cells [0, kNumStringColumns) hold strings; the rest are numeric. The JSON
+/// sink uses this to decide what to quote.
+constexpr std::size_t kNumStringColumns = 4;
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& result_columns() {
+  static const std::vector<std::string> columns = {
+      "bench",         "variant",         "kernel",
+      "set",           "grid_blocks",     "blocks_per_sm",
+      "baseline_blocks", "shared_pairs",  "cycles",
+      "ipc",           "warp_ipc",        "issued_cycles",
+      "stall_cycles",  "idle_cycles",     "warp_instructions",
+      "thread_instructions", "l1_miss_rate", "l2_miss_rate",
+      "dram_requests", "lock_acquisitions", "lock_wait_cycles",
+      "dyn_throttled_issues"};
+  return columns;
+}
+
+std::vector<std::string> result_cells(const std::string& bench, const SweepRow& row) {
+  const SimResult& r = row.result;
+  const SmStats& sm = r.stats.sm_total;
+  return {
+      bench,
+      row.point.variant,
+      row.point.kernel.name,
+      row.point.kernel.set,
+      u64(row.point.kernel.grid_blocks),
+      u64(r.occupancy.total_blocks),
+      u64(r.occupancy.baseline_blocks),
+      u64(r.occupancy.shared_pairs),
+      u64(r.stats.cycles),
+      f6(r.stats.ipc()),
+      f6(r.stats.warp_ipc()),
+      u64(sm.issued_cycles),
+      u64(sm.stall_cycles),
+      u64(sm.idle_cycles),
+      u64(sm.warp_instructions),
+      u64(sm.thread_instructions),
+      f6(r.stats.l1_miss_rate()),
+      f6(r.stats.l2_miss_rate()),
+      u64(r.stats.dram_requests),
+      u64(sm.lock_acquisitions),
+      u64(sm.lock_wait_cycles),
+      u64(sm.dyn_throttled_issues),
+  };
+}
+
+void CsvSink::begin() {
+  const auto& cols = result_columns();
+  for (std::size_t c = 0; c < cols.size(); ++c)
+    out_ << (c == 0 ? "" : ",") << csv_escape(cols[c]);
+  out_ << "\n";
+}
+
+void CsvSink::add(const std::string& bench, const SweepRow& row) {
+  const auto cells = result_cells(bench, row);
+  for (std::size_t c = 0; c < cells.size(); ++c)
+    out_ << (c == 0 ? "" : ",") << csv_escape(cells[c]);
+  out_ << "\n";
+}
+
+void JsonSink::begin() { out_ << "[\n"; }
+
+void JsonSink::add(const std::string& bench, const SweepRow& row) {
+  const auto& cols = result_columns();
+  const auto cells = result_cells(bench, row);
+  out_ << (first_ ? "" : ",\n") << "  {";
+  first_ = false;
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    out_ << (c == 0 ? "" : ", ") << '"' << json_escape(cols[c]) << "\": ";
+    if (c < kNumStringColumns) {
+      out_ << '"' << json_escape(cells[c]) << '"';
+    } else {
+      out_ << cells[c];
+    }
+  }
+  out_ << "}";
+}
+
+void JsonSink::end() { out_ << "\n]\n"; }
+
+void ConsoleTableSink::add(const std::string& bench, const SweepRow& row) {
+  if (bench != current_bench_) {
+    flush_table();
+    current_bench_ = bench;
+  }
+  const SimResult& r = row.result;
+  pending_.push_back({row.point.kernel.name, row.point.variant,
+                      std::to_string(r.occupancy.total_blocks),
+                      TextTable::fmt(r.stats.ipc()),
+                      std::to_string(r.stats.cycles),
+                      TextTable::pct(100.0 * r.stats.l1_miss_rate())});
+}
+
+void ConsoleTableSink::end() { flush_table(); }
+
+void ConsoleTableSink::flush_table() {
+  if (pending_.empty()) return;
+  TextTable t({"kernel", "variant", "blocks/SM", "IPC", "cycles", "L1 miss"});
+  for (auto& row : pending_) t.add_row(std::move(row));
+  t.print("sweep results: " + current_bench_);
+  pending_.clear();
+}
+
+}  // namespace grs::runner

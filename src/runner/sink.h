@@ -1,0 +1,76 @@
+// Pluggable result sinks: stream SweepRows to CSV, JSON, or a console table.
+//
+// All sinks emit the same flat row schema (columns()); the paper-shaped
+// tables stay in each bench's presenter (runner/registry.h). Sinks are fed
+// rows in submission order, so output is deterministic across thread counts.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runner/engine.h"
+
+namespace grs::runner {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once before any rows.
+  virtual void begin() {}
+
+  /// One completed sweep point of bench `bench`.
+  virtual void add(const std::string& bench, const SweepRow& row) = 0;
+
+  /// Called once after the last row.
+  virtual void end() {}
+};
+
+/// Flat schema shared by the CSV/JSON sinks, one entry per column.
+[[nodiscard]] const std::vector<std::string>& result_columns();
+
+/// The row rendered against result_columns(), numbers already formatted.
+[[nodiscard]] std::vector<std::string> result_cells(const std::string& bench,
+                                                    const SweepRow& row);
+
+/// RFC-4180-ish CSV: header row, then one line per sweep point.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+  void begin() override;
+  void add(const std::string& bench, const SweepRow& row) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// A single JSON array of flat objects (strings and numbers).
+class JsonSink : public ResultSink {
+ public:
+  explicit JsonSink(std::ostream& out) : out_(out) {}
+  void begin() override;
+  void add(const std::string& bench, const SweepRow& row) override;
+  void end() override;
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+/// Generic fixed-width table on stdout (one table per bench), for sweeps that
+/// have no paper-shaped presenter.
+class ConsoleTableSink : public ResultSink {
+ public:
+  void add(const std::string& bench, const SweepRow& row) override;
+  void end() override;
+
+ private:
+  void flush_table();
+
+  std::string current_bench_;
+  std::vector<std::vector<std::string>> pending_;
+};
+
+}  // namespace grs::runner

@@ -1,0 +1,38 @@
+#include "runner/sweep.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+namespace grs::runner {
+
+void SweepSpec::add(std::string variant, const GpuConfig& cfg, const KernelInfo& kernel) {
+  points.push_back(SweepPoint{std::move(variant), cfg, kernel});
+}
+
+void SweepSpec::add_grid(const std::vector<ConfigVariant>& variants,
+                         const std::vector<KernelInfo>& kernels) {
+  for (const ConfigVariant& v : variants)
+    for (const KernelInfo& k : kernels) add(v.label, v.config, k);
+}
+
+void SweepSpec::filter_kernels(const std::string& substr) {
+  if (substr.empty()) return;
+  points.erase(std::remove_if(points.begin(), points.end(),
+                              [&](const SweepPoint& p) {
+                                return !kernel_name_matches(p.kernel.name, substr);
+                              }),
+               points.end());
+}
+
+bool kernel_name_matches(const std::string& name, const std::string& substr) {
+  if (substr.empty()) return true;
+  auto lower = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+  };
+  return lower(name).find(lower(substr)) != std::string::npos;
+}
+
+}  // namespace grs::runner

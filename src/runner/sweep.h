@@ -1,0 +1,53 @@
+// Declarative sweep specification: the grid of (GpuConfig variant x kernel)
+// points one experiment runs. Every bench/*.cc driver is a builder of one of
+// these; the engine (runner/engine.h) executes it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "workloads/kernel_info.h"
+
+namespace grs::runner {
+
+/// One named configuration line of an experiment (a column in a paper figure),
+/// e.g. {"Unshared-LRR", configs::unshared()}.
+struct ConfigVariant {
+  std::string label;
+  GpuConfig config;
+
+  /// Variant whose label is the config's own paper legend (line_label()).
+  [[nodiscard]] static ConfigVariant of(const GpuConfig& cfg) { return {cfg.line_label(), cfg}; }
+};
+
+/// One simulation to run: a variant applied to a kernel.
+struct SweepPoint {
+  std::string variant;
+  GpuConfig config;
+  KernelInfo kernel;
+};
+
+/// An ordered list of sweep points. Order is meaningful: the engine returns
+/// results in exactly this order regardless of worker count.
+struct SweepSpec {
+  std::vector<SweepPoint> points;
+
+  void add(std::string variant, const GpuConfig& cfg, const KernelInfo& kernel);
+
+  /// Cross product: every variant applied to every kernel, kernels innermost.
+  void add_grid(const std::vector<ConfigVariant>& variants,
+                const std::vector<KernelInfo>& kernels);
+
+  /// Keep only points whose kernel name contains `substr` (case-insensitive).
+  /// An empty filter keeps everything.
+  void filter_kernels(const std::string& substr);
+
+  [[nodiscard]] bool empty() const { return points.empty(); }
+  [[nodiscard]] std::size_t size() const { return points.size(); }
+};
+
+/// Case-insensitive substring match (the CLI --filter semantics).
+[[nodiscard]] bool kernel_name_matches(const std::string& name, const std::string& substr);
+
+}  // namespace grs::runner

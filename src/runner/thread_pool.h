@@ -1,0 +1,52 @@
+// Fixed-size worker pool for the experiment engine.
+//
+// Deliberately minimal: submit void() jobs, wait for all of them to drain.
+// Determinism of sweep results does not depend on the pool (each job writes to
+// its own pre-allocated slot); the pool only provides throughput.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace grs::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one job. Safe from any thread, including from inside a job.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished executing.
+  void wait();
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  [[nodiscard]] static unsigned default_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace grs::runner

@@ -198,9 +198,13 @@ TEST_P(PlanInvariants, Eq1Through4Hold) {
       EXPECT_LE(used, cfg.registers_per_sm);
     }
     // Sharing never activates on a non-limiting resource.
-    if (res != o.limiter) EXPECT_FALSE(o.sharing_active);
+    if (res != o.limiter) {
+      EXPECT_FALSE(o.sharing_active);
+    }
     // t = 1.0 (0% sharing) never adds blocks.
-    if (t == 1.0) EXPECT_EQ(o.total_blocks, o.baseline_blocks);
+    if (t == 1.0) {
+      EXPECT_EQ(o.total_blocks, o.baseline_blocks);
+    }
   }
 }
 

@@ -1,0 +1,250 @@
+// Runner subsystem: thread pool, parallel sweep engine determinism across
+// worker counts, sink well-formedness, and the bench registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "runner/engine.h"
+#include "runner/registry.h"
+#include "runner/sink.h"
+#include "runner/sweep.h"
+#include "runner/thread_pool.h"
+#include "workloads/suites.h"
+
+namespace grs::runner {
+namespace {
+
+/// A small but non-trivial grid: 2 variants x 3 kernels, shrunk so one point
+/// simulates in milliseconds.
+SweepSpec tiny_spec() {
+  SweepSpec s;
+  const std::vector<ConfigVariant> variants = {
+      ConfigVariant::of(configs::unshared()),
+      ConfigVariant::of(configs::shared_owf_unroll_dyn(Resource::kRegisters))};
+  std::vector<KernelInfo> kernels = workloads::set1();
+  kernels.resize(3);
+  for (KernelInfo& k : kernels) k.grid_blocks = 6;
+  s.add_grid(variants, kernels);
+  return s;
+}
+
+std::string csv_of(const std::vector<SweepRow>& rows) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.begin();
+  for (const SweepRow& r : rows) sink.add("tiny", r);
+  sink.end();
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream in(s);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+std::size_t count_fields(const std::string& csv_line) {
+  return static_cast<std::size_t>(std::count(csv_line.begin(), csv_line.end(), ',')) + 1;
+}
+
+// --- thread pool --------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryJobAndIsReusableAfterWait) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+  for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 150);
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// --- sweep spec ---------------------------------------------------------------
+
+TEST(SweepSpec, GridIsVariantMajorKernelMinor) {
+  const SweepSpec s = tiny_spec();
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.points[0].variant, "Unshared-LRR");
+  EXPECT_EQ(s.points[0].kernel.name, s.points[3].kernel.name);
+  EXPECT_EQ(s.points[3].variant, "Shared-OWF-Unroll-Dyn");
+}
+
+TEST(SweepSpec, FilterIsCaseInsensitiveSubstring) {
+  SweepSpec s = tiny_spec();
+  const std::string first = s.points[0].kernel.name;
+  std::string shouty = first;
+  for (char& c : shouty) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  s.filter_kernels(shouty);
+  ASSERT_EQ(s.size(), 2u);  // one kernel, both variants
+  for (const SweepPoint& p : s.points) EXPECT_EQ(p.kernel.name, first);
+
+  SweepSpec all = tiny_spec();
+  all.filter_kernels("");
+  EXPECT_EQ(all.size(), 6u);
+
+  SweepSpec none = tiny_spec();
+  none.filter_kernels("no-such-kernel");
+  EXPECT_TRUE(none.empty());
+}
+
+// --- engine -------------------------------------------------------------------
+
+TEST(Engine, EmptySweepIsGracefullyEmpty) {
+  const std::vector<SweepRow> rows = run_sweep(SweepSpec{}, {8, nullptr});
+  EXPECT_TRUE(rows.empty());
+
+  // Sinks stay well-formed with zero rows.
+  std::ostringstream csv_out;
+  CsvSink csv(csv_out);
+  csv.begin();
+  csv.end();
+  EXPECT_EQ(split_lines(csv_out.str()).size(), 1u);  // header only
+
+  std::ostringstream json_out;
+  JsonSink json(json_out);
+  json.begin();
+  json.end();
+  EXPECT_EQ(json_out.str(), "[\n\n]\n");
+}
+
+TEST(Engine, ResultsArriveInSubmissionOrder) {
+  const SweepSpec spec = tiny_spec();
+  const std::vector<SweepRow> rows = run_sweep(spec, {4, nullptr});
+  ASSERT_EQ(rows.size(), spec.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].point.variant, spec.points[i].variant);
+    EXPECT_EQ(rows[i].point.kernel.name, spec.points[i].kernel.name);
+    EXPECT_GT(rows[i].result.stats.cycles, 0u);
+  }
+}
+
+TEST(Engine, ByteIdenticalAcrossThreadCounts) {
+  const SweepSpec spec = tiny_spec();
+  const std::string csv1 = csv_of(run_sweep(spec, {1, nullptr}));
+  const std::string csv4 = csv_of(run_sweep(spec, {4, nullptr}));
+  const std::string csv8 = csv_of(run_sweep(spec, {8, nullptr}));
+  EXPECT_EQ(csv1, csv4);
+  EXPECT_EQ(csv1, csv8);
+}
+
+TEST(Engine, ProgressReachesTotal) {
+  const SweepSpec spec = tiny_spec();
+  std::size_t calls = 0, last_done = 0, total = 0;
+  RunOptions options;
+  options.threads = 4;
+  options.progress = [&](std::size_t done, std::size_t n) {
+    ++calls;
+    if (done > last_done) last_done = done;
+    total = n;
+  };
+  (void)run_sweep(spec, options);
+  EXPECT_EQ(calls, spec.size());
+  EXPECT_EQ(last_done, spec.size());
+  EXPECT_EQ(total, spec.size());
+}
+
+// --- sinks --------------------------------------------------------------------
+
+TEST(Sinks, CsvIsRectangular) {
+  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), {2, nullptr});
+  const std::string csv = csv_of(rows);
+  EXPECT_EQ(csv.find('"'), std::string::npos);  // nothing needed quoting
+  const std::vector<std::string> lines = split_lines(csv);
+  ASSERT_EQ(lines.size(), rows.size() + 1);
+  const std::size_t width = result_columns().size();
+  for (const std::string& line : lines) EXPECT_EQ(count_fields(line), width);
+}
+
+TEST(Sinks, JsonIsStructurallySound) {
+  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), {2, nullptr});
+  std::ostringstream out;
+  JsonSink sink(out);
+  sink.begin();
+  for (const SweepRow& r : rows) sink.add("tiny", r);
+  sink.end();
+  const std::string json = out.str();
+
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  long depth = 0;
+  std::size_t objects = 0;
+  for (char c : json) {
+    if (c == '{') {
+      ++depth;
+      ++objects;
+    } else if (c == '}') {
+      --depth;
+    }
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(objects, rows.size());
+
+  std::size_t kernels = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"kernel\": ", pos)) != std::string::npos;
+       ++pos)
+    ++kernels;
+  EXPECT_EQ(kernels, rows.size());
+}
+
+TEST(Sinks, CellsMatchColumns) {
+  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), {2, nullptr});
+  ASSERT_FALSE(rows.empty());
+  const auto cells = result_cells("tiny", rows[0]);
+  EXPECT_EQ(cells.size(), result_columns().size());
+  EXPECT_EQ(cells[0], "tiny");
+  EXPECT_EQ(cells[1], rows[0].point.variant);
+  EXPECT_EQ(cells[2], rows[0].point.kernel.name);
+}
+
+// --- registry -----------------------------------------------------------------
+
+TEST(Registry, RegisterFindAndSortedListing) {
+  register_bench({"ztest_registry_b", "later", [] { return SweepSpec{}; }, nullptr});
+  register_bench({"ztest_registry_a", "earlier", [] { return SweepSpec{}; }, nullptr});
+
+  const BenchDef* b = find_bench("ztest_registry_b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->title, "later");
+  EXPECT_TRUE(b->build().empty());
+  EXPECT_EQ(find_bench("no-such-bench"), nullptr);
+
+  const std::vector<const BenchDef*> all = all_benches();
+  ASSERT_GE(all.size(), 2u);
+  for (std::size_t i = 1; i < all.size(); ++i) EXPECT_LT(all[i - 1]->name, all[i]->name);
+}
+
+TEST(Registry, BenchViewFindAndKernelOrder) {
+  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), {2, nullptr});
+  const BenchView view(rows);
+  const std::vector<std::string> kernels = view.kernels();
+  ASSERT_EQ(kernels.size(), 3u);
+  EXPECT_EQ(kernels[0], rows[0].point.kernel.name);
+
+  const SimResult* r = view.find("Unshared-LRR", kernels[1]);
+  ASSERT_NE(r, nullptr);
+  EXPECT_GT(r->stats.cycles, 0u);
+  EXPECT_EQ(view.find("Unshared-LRR", "no-such-kernel"), nullptr);
+  EXPECT_EQ(view.find("no-such-variant", kernels[0]), nullptr);
+}
+
+}  // namespace
+}  // namespace grs::runner
