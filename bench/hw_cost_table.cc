@@ -1,13 +1,20 @@
 // Paper §V: storage cost of the sharing hardware, evaluated on the Table I
-// configuration and a sweep of SM shapes.
+// configuration and a sweep of SM shapes. No simulation needed — this bench
+// has an empty sweep grid and a presenter that evaluates the closed-form
+// cost model (core/hardware_cost.h).
 #include <cstdio>
+#include <string>
 
 #include "common/table.h"
 #include "core/hardware_cost.h"
+#include "runner/registry.h"
 
-using namespace grs;
+namespace grs {
+namespace {
 
-int main() {
+runner::SweepSpec build() { return runner::SweepSpec{}; }
+
+void present(const runner::BenchView&) {
   TextTable t({"T (blocks)", "W (warps)", "N (SMs)", "register sharing (bits)",
                "scratchpad sharing (bits)", "total (bytes, both)"});
   for (const HardwareCostParams& p :
@@ -29,5 +36,10 @@ int main() {
               100.0 *
                   static_cast<double>(register_sharing_bits(HardwareCostParams{8, 48, 14}) / 14) /
                   (32768.0 * 32.0));
-  return 0;
 }
+
+const runner::BenchRegistrar reg{
+    {"hw_cost", "storage cost of the sharing hardware (paper SV)", build, present}};
+
+}  // namespace
+}  // namespace grs
