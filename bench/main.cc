@@ -11,6 +11,9 @@
 //   --filter SUBSTR   only kernels whose name contains SUBSTR (case-insensitive).
 //                     Benches with no per-kernel simulation (fig1, hw_cost)
 //                     evaluate closed-form models and print in full regardless.
+//   --exec-mode M     force cycle | event on every sweep point (default:
+//                     whatever the configs say — event). Output is
+//                     bit-identical across modes; event is faster.
 //   --out FILE        write CSV rows of every sweep point to FILE
 //   --json FILE       write the same rows as a JSON array to FILE
 //   --table           also print the generic per-sweep console table
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
   std::string filter, out_csv, out_json;
   unsigned threads = 0;
   bool table = false, quiet = false;
+  bool exec_mode_set = false;
+  ExecMode exec_mode = ExecMode::kEvent;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -67,6 +72,12 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::atoi(next().c_str()));
     } else if (a == "--filter") {
       filter = next();
+    } else if (a == "--exec-mode") {
+      const std::string m = next();
+      if (m == "cycle") exec_mode = ExecMode::kCycle;
+      else if (m == "event") exec_mode = ExecMode::kEvent;
+      else usage("unknown --exec-mode (cycle | event)");
+      exec_mode_set = true;
     } else if (a == "--out") {
       out_csv = next();
     } else if (a == "--json") {
@@ -114,6 +125,8 @@ int main(int argc, char** argv) {
   for (const runner::BenchDef* b : to_run) {
     runner::SweepSpec spec = b->build();
     spec.filter_kernels(filter);
+    if (exec_mode_set)
+      for (runner::SweepPoint& p : spec.points) p.config.exec_mode = exec_mode;
 
     runner::RunOptions options;
     options.threads = threads;

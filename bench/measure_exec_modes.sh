@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Measure the event-driven loop's speedup over the naive cycle loop and emit
+# a bench JSON for the perf trajectory (bench/results/exec_mode_speedup.json
+# is the committed snapshot). For every spec the two modes' --json outputs
+# are also diffed, so a measurement run doubles as an equivalence check.
+#
+#   bench/measure_exec_modes.sh <grs_bench> <out.json> [bench[:filter]...]
+#
+# Default specs: fig1 and fig8 (the tentpole targets) plus fig8 restricted to
+# its most idle-dominated (memory-bound) kernels, where cycle skipping pays
+# the most.
+set -euo pipefail
+
+BIN=${1:?usage: measure_exec_modes.sh <grs_bench> <out.json> [bench[:filter]...]}
+OUT=${2:?usage: measure_exec_modes.sh <grs_bench> <out.json> [bench[:filter]...]}
+shift 2
+SPECS=("$@")
+if [ ${#SPECS[@]} -eq 0 ]; then
+  SPECS=(fig1 fig8 fig8:SRAD1 fig8:stencil fig8:MUM fig8:b+tree)
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+run_mode() { # bench filter mode json-out -> prints seconds
+  local bench=$1 filter=$2 mode=$3 json=$4
+  local args=("$bench" --exec-mode "$mode" --threads 1 --quiet --json "$json")
+  [ -n "$filter" ] && args+=(--filter "$filter")
+  "$BIN" "${args[@]}" 2>&1 >/dev/null | sed -n 's/.* in \([0-9.]*\)s$/\1/p'
+}
+
+{
+  echo "["
+  first=1
+  for spec in "${SPECS[@]}"; do
+    bench=${spec%%:*}
+    filter=""
+    [ "$spec" != "$bench" ] && filter=${spec#*:}
+    cycle_s=$(run_mode "$bench" "$filter" cycle "$tmp/cycle.json")
+    event_s=$(run_mode "$bench" "$filter" event "$tmp/event.json")
+    if ! cmp -s "$tmp/cycle.json" "$tmp/event.json"; then
+      echo "error: $spec: exec modes disagree (JSON differs)" >&2
+      exit 1
+    fi
+    points=$(grep -c '"kernel"' "$tmp/cycle.json" || true)
+    [ $first -eq 0 ] && echo ","
+    first=0
+    awk -v b="$bench" -v f="$filter" -v p="$points" -v c="$cycle_s" -v e="$event_s" \
+      'BEGIN{printf "  {\"bench\": \"%s\", \"filter\": \"%s\", \"points\": %d, \"cycle_s\": %.2f, \"event_s\": %.2f, \"speedup\": %.2f, \"identical_output\": true}", b, f, p, c, e, (e > 0) ? c / e : 1.0}'
+  done
+  echo ""
+  echo "]"
+} > "$OUT"
+
+cat "$OUT"

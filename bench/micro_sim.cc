@@ -91,6 +91,35 @@ void BM_EndToEndSim(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSim)->Unit(benchmark::kMillisecond);
 
+/// Execution-mode speedup table: the same kernel under the naive cycle loop
+/// (arg 0) and the event-driven loop (arg 1). Both produce bit-identical
+/// statistics (tests/test_equivalence.cc); the ratio of these two rows is
+/// the cycle-skipping speedup. hotspot is compute-leaning, b+tree is the
+/// memory-bound case where skipping pays most.
+void BM_ExecModeHotspot(benchmark::State& state) {
+  KernelInfo k = workloads::hotspot();
+  k.grid_blocks = 42;
+  GpuConfig cfg = configs::unshared();
+  cfg.exec_mode = state.range(0) == 0 ? ExecMode::kCycle : ExecMode::kEvent;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(cfg, k).stats.cycles);
+  }
+  state.SetLabel(to_string(cfg.exec_mode));
+}
+BENCHMARK(BM_ExecModeHotspot)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ExecModeBtree(benchmark::State& state) {
+  KernelInfo k = workloads::btree();
+  k.grid_blocks = 84;
+  GpuConfig cfg = configs::unshared();
+  cfg.exec_mode = state.range(0) == 0 ? ExecMode::kCycle : ExecMode::kEvent;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(cfg, k).stats.cycles);
+  }
+  state.SetLabel(to_string(cfg.exec_mode));
+}
+BENCHMARK(BM_ExecModeBtree)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace grs
 

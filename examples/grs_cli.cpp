@@ -12,6 +12,8 @@
 //   --dyn             enable dynamic warp execution
 //   --grid N          override grid size
 //   --compare         also run Unshared-LRR and print the delta
+//   --exec-mode M     cycle | event (default event; bit-identical stats, the
+//                     event loop skips cycles in which no SM can issue)
 //   --list            list kernels and exit
 //
 // Sweep mode (runs the configured line over *all* kernels in parallel via the
@@ -47,6 +49,12 @@ SchedulerKind parse_sched(const std::string& s) {
   usage("unknown scheduler");
 }
 
+ExecMode parse_exec_mode(const std::string& s) {
+  if (s == "cycle") return ExecMode::kCycle;
+  if (s == "event") return ExecMode::kEvent;
+  usage("unknown --exec-mode (cycle | event)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,6 +63,7 @@ int main(int argc, char** argv) {
   std::string out_csv;
   double t = 0.1;
   SchedulerKind sched = SchedulerKind::kLrr;
+  ExecMode exec_mode = ExecMode::kEvent;
   bool unroll = false, dyn = false, compare = false, sweep = false, kernel_set = false;
   std::uint32_t grid = 0;
   unsigned threads = 0;
@@ -72,6 +81,7 @@ int main(int argc, char** argv) {
     else if (a == "--share") share = next();
     else if (a == "--t") t = std::atof(next().c_str());
     else if (a == "--sched") sched = parse_sched(next());
+    else if (a == "--exec-mode") exec_mode = parse_exec_mode(next());
     else if (a == "--unroll") unroll = true;
     else if (a == "--dyn") dyn = true;
     else if (a == "--grid") grid = static_cast<std::uint32_t>(std::atoi(next().c_str()));
@@ -91,6 +101,7 @@ int main(int argc, char** argv) {
   if (grid != 0) kernel.grid_blocks = grid;
 
   GpuConfig cfg = configs::unshared(sched);
+  cfg.exec_mode = exec_mode;
   if (share != "none") {
     cfg.sharing.enabled = true;
     cfg.sharing.resource =

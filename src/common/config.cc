@@ -24,6 +24,24 @@ void GpuConfig::validate() const {
   GRS_CHECK(l1.line_bytes == l2.line_bytes);
   GRS_CHECK(l1.num_sets() >= 1);
   GRS_CHECK(l2.num_sets() >= 1);
+  // The SM-observed L2 hit latency decomposes into the L2 pipeline plus two
+  // equal interconnect traversals; anything below the pipeline latency would
+  // wrap the unsigned transit computation in MemorySystem::access to ~2^63.
+  GRS_CHECK_MSG(l2_hit_latency >= kL2PipeLatency,
+                "l2_hit_latency must be >= the 40-cycle L2 pipeline latency");
+  GRS_CHECK_MSG((l2_hit_latency - kL2PipeLatency) % 2 == 0,
+                "l2_hit_latency minus the 40-cycle L2 pipeline must be even "
+                "(it splits into two equal interconnect traversals)");
+  // The L2 is banked per DRAM channel in whole sets (memory/memsys.cc), so
+  // the configured capacity must be an exact number of sets with at least one
+  // set per bank.
+  GRS_CHECK_MSG(l2.size_bytes % (l2.line_bytes * l2.ways) == 0,
+                "l2.size_bytes must be a whole number of sets (line_bytes * ways)");
+  GRS_CHECK_MSG(l2.num_sets() >= dram.num_channels,
+                "L2 needs at least one set per DRAM channel (bank)");
+  GRS_CHECK_MSG(l2.mshr_entries >= dram.num_channels,
+                "L2 needs at least one MSHR entry per DRAM channel (bank), or a "
+                "bank would reject every miss");
   GRS_CHECK_MSG(!sharing.enabled || (sharing.threshold_t > 0.0 && sharing.threshold_t <= 1.0),
                 "sharing threshold t must be in (0, 1]");
   GRS_CHECK(sharing.dyn_period > 0);

@@ -8,6 +8,27 @@
 
 namespace grs {
 
+/// Top-level simulation loop strategy. Both modes produce bit-identical
+/// statistics; kEvent skips stretches of cycles in which no SM can issue
+/// (common in memory-bound kernels) by jumping to the next timed wakeup.
+enum class ExecMode : std::uint8_t {
+  kCycle,  ///< naive loop: tick every SM every cycle
+  kEvent,  ///< event-driven: bulk-skip provably idle cycle ranges
+};
+
+[[nodiscard]] constexpr const char* to_string(ExecMode m) {
+  switch (m) {
+    case ExecMode::kCycle: return "cycle";
+    case ExecMode::kEvent: return "event";
+  }
+  return "?";
+}
+
+/// L2 pipeline (tag + data array) latency, part of every l2_hit_latency.
+/// The remaining (l2_hit_latency - kL2PipeLatency) is split evenly between
+/// the two interconnect traversals (memory/memsys.cc).
+inline constexpr Cycle kL2PipeLatency = 40;
+
 /// Configuration of the resource-sharing runtime (the paper's contribution).
 struct SharingConfig {
   /// Master switch. When false the dispatcher behaves exactly like the
@@ -108,6 +129,9 @@ struct GpuConfig {
 
   /// Hard cap to terminate runaway simulations (0 = unlimited).
   Cycle max_cycles = 0;
+
+  /// Simulation loop strategy; statistics are bit-identical across modes.
+  ExecMode exec_mode = ExecMode::kEvent;
 
   [[nodiscard]] std::uint32_t max_warps_per_sm() const {
     return max_threads_per_sm / warp_size;

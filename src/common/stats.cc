@@ -30,6 +30,55 @@ void SmStats::merge(const SmStats& o) {
   blocked_barrier += o.blocked_barrier;
 }
 
+void SmStats::accumulate_scaled_delta(const SmStats& before, const SmStats& after,
+                                      std::uint64_t n) {
+  issued_cycles += (after.issued_cycles - before.issued_cycles) * n;
+  stall_cycles += (after.stall_cycles - before.stall_cycles) * n;
+  idle_cycles += (after.idle_cycles - before.idle_cycles) * n;
+  warp_instructions += (after.warp_instructions - before.warp_instructions) * n;
+  thread_instructions += (after.thread_instructions - before.thread_instructions) * n;
+  blocks_launched += (after.blocks_launched - before.blocks_launched) * n;
+  blocks_finished += (after.blocks_finished - before.blocks_finished) * n;
+  lock_acquisitions += (after.lock_acquisitions - before.lock_acquisitions) * n;
+  lock_wait_cycles += (after.lock_wait_cycles - before.lock_wait_cycles) * n;
+  ownership_transfers += (after.ownership_transfers - before.ownership_transfers) * n;
+  dyn_throttled_issues += (after.dyn_throttled_issues - before.dyn_throttled_issues) * n;
+  l1_accesses += (after.l1_accesses - before.l1_accesses) * n;
+  l1_misses += (after.l1_misses - before.l1_misses) * n;
+  l1_mshr_merges += (after.l1_mshr_merges - before.l1_mshr_merges) * n;
+  blocked_lsu_port += (after.blocked_lsu_port - before.blocked_lsu_port) * n;
+  blocked_lsu_inflight += (after.blocked_lsu_inflight - before.blocked_lsu_inflight) * n;
+  blocked_mshr += (after.blocked_mshr - before.blocked_mshr) * n;
+  blocked_sfu_port += (after.blocked_sfu_port - before.blocked_sfu_port) * n;
+  blocked_scoreboard += (after.blocked_scoreboard - before.blocked_scoreboard) * n;
+  blocked_barrier += (after.blocked_barrier - before.blocked_barrier) * n;
+}
+
+bool operator==(const SmStats& a, const SmStats& b) {
+  return a.issued_cycles == b.issued_cycles && a.stall_cycles == b.stall_cycles &&
+         a.idle_cycles == b.idle_cycles && a.warp_instructions == b.warp_instructions &&
+         a.thread_instructions == b.thread_instructions &&
+         a.blocks_launched == b.blocks_launched && a.blocks_finished == b.blocks_finished &&
+         a.max_resident_blocks == b.max_resident_blocks &&
+         a.max_resident_warps == b.max_resident_warps &&
+         a.lock_acquisitions == b.lock_acquisitions &&
+         a.lock_wait_cycles == b.lock_wait_cycles &&
+         a.ownership_transfers == b.ownership_transfers &&
+         a.dyn_throttled_issues == b.dyn_throttled_issues &&
+         a.l1_accesses == b.l1_accesses && a.l1_misses == b.l1_misses &&
+         a.l1_mshr_merges == b.l1_mshr_merges && a.blocked_lsu_port == b.blocked_lsu_port &&
+         a.blocked_lsu_inflight == b.blocked_lsu_inflight && a.blocked_mshr == b.blocked_mshr &&
+         a.blocked_sfu_port == b.blocked_sfu_port &&
+         a.blocked_scoreboard == b.blocked_scoreboard &&
+         a.blocked_barrier == b.blocked_barrier;
+}
+
+bool operator==(const GpuStats& a, const GpuStats& b) {
+  return a.cycles == b.cycles && a.sm_total == b.sm_total &&
+         a.l2_accesses == b.l2_accesses && a.l2_misses == b.l2_misses &&
+         a.dram_requests == b.dram_requests && a.dram_row_hits == b.dram_row_hits;
+}
+
 std::string GpuStats::summary() const {
   char buf[1024];
   std::snprintf(buf, sizeof(buf),

@@ -53,10 +53,22 @@ struct SmStats {
 
   void merge(const SmStats& o);
 
+  /// Add `n` copies of the per-cycle delta `after - before` to this block.
+  /// Used by the event-driven loop (gpu/gpu.cc) to account a run of skipped
+  /// cycles whose scan is provably identical to the one just executed; the
+  /// max_resident_* high-water marks are carried over unscaled (their delta
+  /// is zero in any cycle that issues nothing).
+  void accumulate_scaled_delta(const SmStats& before, const SmStats& after,
+                               std::uint64_t n);
+
   [[nodiscard]] std::uint64_t scheduler_cycles() const {
     return issued_cycles + stall_cycles + idle_cycles;
   }
 };
+
+/// Field-wise equality (the cross-mode equivalence contract).
+[[nodiscard]] bool operator==(const SmStats& a, const SmStats& b);
+inline bool operator!=(const SmStats& a, const SmStats& b) { return !(a == b); }
 
 /// Whole-GPU results for one kernel run.
 struct GpuStats {
@@ -92,6 +104,9 @@ struct GpuStats {
   /// Multi-line human-readable dump (used by examples).
   [[nodiscard]] std::string summary() const;
 };
+
+[[nodiscard]] bool operator==(const GpuStats& a, const GpuStats& b);
+inline bool operator!=(const GpuStats& a, const GpuStats& b) { return !(a == b); }
 
 /// Percentage change helpers used throughout the benches.
 [[nodiscard]] double percent_improvement(double baseline, double value);

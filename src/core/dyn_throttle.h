@@ -34,6 +34,24 @@ class DynThrottle {
   [[nodiscard]] Cycle period() const { return cfg_.dyn_period; }
   [[nodiscard]] bool enabled() const { return cfg_.dynamic_warp_execution; }
 
+  /// First cycle strictly after `now` at which on_period_end must run
+  /// (kNeverCycle when Dyn is disabled). The event-driven loop never skips
+  /// past it: probabilities — and with them every gate decision — may change
+  /// there.
+  [[nodiscard]] Cycle next_period_boundary(Cycle now) const {
+    if (!cfg_.dynamic_warp_execution) return kNeverCycle;
+    return (now / cfg_.dyn_period + 1) * cfg_.dyn_period;
+  }
+
+  /// True when allow() for `sm` depends on the cycle number (fractional
+  /// probability): a scan that consulted such a gate cannot be assumed to
+  /// repeat identically, so the SM must be stepped cycle by cycle.
+  [[nodiscard]] bool gate_is_cycle_dependent(SmId sm) const {
+    if (!cfg_.dynamic_warp_execution || sm == 0) return false;
+    const double p = prob_[sm];
+    return p > 0.0 && p < 1.0;
+  }
+
  private:
   SharingConfig cfg_;
   std::vector<double> prob_;

@@ -1,5 +1,7 @@
 #include "gpu/gpu.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace grs {
@@ -31,14 +33,25 @@ GpuStats Gpu::run() {
 
   std::vector<std::uint64_t> stall_mark(sms_.size(), 0);
   std::vector<std::uint64_t> period_stalls(sms_.size(), 0);
+  const bool event_mode = cfg_.exec_mode == ExecMode::kEvent;
 
   Cycle cycle = 0;
   while (!done()) {
     ++cycle;
-    for (auto& sm : sms_) sm.step(cycle);
+    bool issued = false;
+    if (event_mode) {
+      // tick() lets each SM sleep through its own provably-idle windows
+      // (O(1) per slept cycle); SMs interact only through issue-time memory
+      // accesses, which a sleeping SM by definition does not generate.
+      for (auto& sm : sms_) issued |= sm.tick(cycle);
+    } else {
+      for (auto& sm : sms_) issued |= sm.step(cycle);
+    }
 
     // Dynamic warp execution: periodic stall comparison against SM0
-    // (paper §IV-C, monitoring period 1000 cycles).
+    // (paper §IV-C, monitoring period 1000 cycles). Sleeping SMs never cross
+    // a monitoring boundary (tick clamps their windows to it), so every SM's
+    // stall counter is exact here in both modes.
     if (dyn_.enabled() && cycle % dyn_.period() == 0) {
       for (std::size_t i = 0; i < sms_.size(); ++i) {
         const std::uint64_t s = sms_[i].stats().stall_cycles;
@@ -49,6 +62,23 @@ GpuStats Gpu::run() {
     }
 
     if (cfg_.max_cycles != 0 && cycle >= cfg_.max_cycles) break;
+
+    // With every SM asleep, nothing can happen until the earliest window
+    // ends: jump the clock straight there (the cycle counter is the only
+    // state that moves; skipped-cycle accounting is settled lazily when each
+    // SM wakes or at the final flush below).
+    if (event_mode && !issued) {
+      Cycle next = kNeverCycle;
+      for (const auto& sm : sms_) next = std::min(next, sm.idle_until());
+      if (cfg_.max_cycles != 0) next = std::min(next, cfg_.max_cycles);
+      GRS_CHECK_MSG(next != kNeverCycle,
+                    "deadlock: no warp can ever issue again and no event is pending");
+      if (next > cycle + 1) cycle = next - 1;
+    }
+  }
+
+  if (event_mode) {
+    for (auto& sm : sms_) sm.flush_idle_accounting(cycle);
   }
 
   GpuStats g;

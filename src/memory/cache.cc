@@ -1,5 +1,7 @@
 #include "memory/cache.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace grs {
@@ -36,14 +38,23 @@ void Cache::install(Addr line_addr) {
 }
 
 void Cache::drain(Cycle now) {
+  // Collect, then install sorted by (ready, line): a drain that covers
+  // several cycles at once (the event-driven loop wakes an SM after a
+  // multi-cycle idle window) must assign LRU stamps in the same order a
+  // cycle-by-cycle drain would, or replacement decisions diverge between
+  // execution modes. The line-address tie-break keeps same-cycle batches
+  // independent of hash-map iteration order.
+  ready_scratch_.clear();
   for (auto it = mshr_.begin(); it != mshr_.end();) {
     if (it->second <= now) {
-      install(it->first);
+      ready_scratch_.emplace_back(it->second, it->first);
       it = mshr_.erase(it);
     } else {
       ++it;
     }
   }
+  std::sort(ready_scratch_.begin(), ready_scratch_.end());
+  for (const auto& [ready, line] : ready_scratch_) install(line);
 }
 
 Cache::LookupResult Cache::lookup(Addr line_addr, Cycle now) {
@@ -71,6 +82,12 @@ Cache::LookupResult Cache::lookup(Addr line_addr, Cycle now) {
 
   ++misses;
   return LookupResult{};  // primary miss; caller calls fill_inflight()
+}
+
+Cycle Cache::next_ready() const {
+  Cycle next = kNeverCycle;
+  for (const auto& [line, ready] : mshr_) next = std::min(next, ready);
+  return next;
 }
 
 void Cache::fill_inflight(Addr line_addr, Cycle ready) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/config.h"
@@ -46,6 +47,11 @@ class Cache {
   /// Number of MSHR entries currently in flight (for tests).
   [[nodiscard]] std::size_t inflight() const { return mshr_.size(); }
 
+  /// Earliest ready cycle over the in-flight misses, kNeverCycle when none.
+  /// The event-driven loop uses this as a wakeup: a warp blocked on MSHR
+  /// capacity can become issuable as soon as any entry drains.
+  [[nodiscard]] Cycle next_ready() const;
+
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
 
   // Statistics (primary accesses only; the caller classifies).
@@ -67,6 +73,7 @@ class Cache {
   CacheConfig cfg_;
   std::vector<Way> ways_;               ///< num_sets * ways, row-major
   std::unordered_map<Addr, Cycle> mshr_;  ///< line -> ready cycle
+  std::vector<std::pair<Cycle, Addr>> ready_scratch_;  ///< drain() sort buffer
   std::uint64_t stamp_ = 0;
 };
 

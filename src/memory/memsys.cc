@@ -6,27 +6,36 @@
 
 namespace grs {
 
-namespace {
-/// L2 pipeline (tag + data array) latency.
-constexpr Cycle kL2Pipe = 40;
-}  // namespace
-
 MemorySystem::MemorySystem(const GpuConfig& cfg)
     : cfg_(cfg), dram_(cfg.dram, cfg.l2.line_bytes) {
   cfg_.validate();
   // One L2 bank per DRAM channel keeps addressing aligned and gives the
-  // 768KB cache (Table I) a realistic amount of request parallelism.
+  // 768KB cache (Table I) a realistic amount of request parallelism. Sets and
+  // MSHR entries are dealt out whole, low banks first, so the per-bank sums
+  // always reconstruct the configured totals (an even divide used to drop the
+  // remainder and silently shrink the cache).
   const std::uint32_t n_banks = cfg.dram.num_channels;
-  CacheConfig per_bank = cfg.l2;
-  per_bank.size_bytes = cfg.l2.size_bytes / n_banks;
-  per_bank.mshr_entries = std::max<std::uint32_t>(1, cfg.l2.mshr_entries / n_banks);
+  const std::uint32_t total_sets = cfg.l2.num_sets();
+  const std::uint32_t set_bytes = cfg.l2.line_bytes * cfg.l2.ways;
   banks_.reserve(n_banks);
-  for (std::uint32_t b = 0; b < n_banks; ++b) banks_.emplace_back(per_bank);
+  for (std::uint32_t b = 0; b < n_banks; ++b) {
+    CacheConfig per_bank = cfg.l2;
+    per_bank.size_bytes = (total_sets / n_banks + (b < total_sets % n_banks ? 1 : 0)) *
+                          set_bytes;
+    per_bank.mshr_entries =
+        cfg.l2.mshr_entries / n_banks + (b < cfg.l2.mshr_entries % n_banks ? 1 : 0);
+    banks_.emplace_back(per_bank);
+  }
+}
+
+const CacheConfig& MemorySystem::bank_config(std::uint32_t bank) const {
+  GRS_CHECK(bank < banks_.size());
+  return banks_[bank].tags.config();
 }
 
 Cycle MemorySystem::access(Addr line_addr, Cycle now) {
   // Interconnect transit, each way.
-  const Cycle transit = (cfg_.l2_hit_latency - kL2Pipe) / 2;
+  const Cycle transit = (cfg_.l2_hit_latency - kL2PipeLatency) / 2;
 
   const std::uint64_t line = line_addr / cfg_.l2.line_bytes;
   L2Bank& bank = banks_[line % banks_.size()];
@@ -36,15 +45,15 @@ Cycle MemorySystem::access(Addr line_addr, Cycle now) {
   bank.next_free = start + kBankOccupancy;
 
   const Cache::LookupResult r = bank.tags.lookup(line_addr, start);
-  if (r.hit) return start + kL2Pipe + transit;
+  if (r.hit) return start + kL2PipeLatency + transit;
   if (r.mshr_merge) {
     // Data arrives at the L2 at r.ready; serve after both that and our
     // own pipeline slot.
-    return std::max(start + kL2Pipe, r.ready) + transit;
+    return std::max(start + kL2PipeLatency, r.ready) + transit;
   }
 
   // Primary miss (or MSHR full: bypass without fill).
-  const Cycle dram_ready = dram_.request(line_addr, start + kL2Pipe);
+  const Cycle dram_ready = dram_.request(line_addr, start + kL2PipeLatency);
   if (!r.mshr_full) bank.tags.fill_inflight(line_addr, dram_ready);
   return dram_ready + transit;
 }

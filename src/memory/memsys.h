@@ -25,6 +25,14 @@ class MemorySystem {
   /// cycle at the SM. Deterministic in call order.
   [[nodiscard]] Cycle access(Addr line_addr, Cycle now);
 
+  // -- introspection -------------------------------------------------------
+  [[nodiscard]] std::uint32_t num_banks() const {
+    return static_cast<std::uint32_t>(banks_.size());
+  }
+  /// Geometry actually given to bank `bank` (remainder sets/MSHRs go to the
+  /// low banks; per-bank sums reconstruct the configured L2 totals).
+  [[nodiscard]] const CacheConfig& bank_config(std::uint32_t bank) const;
+
   // -- stats -------------------------------------------------------------
   [[nodiscard]] std::uint64_t l2_accesses() const;
   [[nodiscard]] std::uint64_t l2_misses() const;

@@ -33,6 +33,9 @@ struct RunOptions {
 
 /// Run every point of `spec`. Returns one row per point, in spec order.
 /// An empty spec returns an empty vector without spawning workers.
+/// If a point (or the progress callback) throws, every started point still
+/// completes and the first exception is rethrown here instead of terminating
+/// the process inside a worker thread.
 [[nodiscard]] std::vector<SweepRow> run_sweep(const SweepSpec& spec,
                                               const RunOptions& options = {});
 

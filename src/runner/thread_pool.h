@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -29,7 +30,11 @@ class ThreadPool {
   /// Enqueue one job. Safe from any thread, including from inside a job.
   void submit(std::function<void()> job);
 
-  /// Block until every submitted job has finished executing.
+  /// Block until every submitted job has finished executing. If any job
+  /// exited via an exception, rethrows the first one captured (remaining
+  /// jobs still ran to completion; further captured exceptions are dropped).
+  /// A worker thread would otherwise std::terminate the whole process and
+  /// the failure would be unattributable to the submitting caller.
   void wait();
 
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
@@ -45,6 +50,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::exception_ptr first_error_;  ///< first job exception, armed for wait()
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -54,7 +54,11 @@ class WarpScheduler {
   std::uint32_t total_slots_;
   std::uint32_t group_size_;
 
-  std::uint32_t last_slot_ = 0;     ///< LRR position
+  /// LRR / Two-Level rotation point. Starts at the kInvalidSlot sentinel
+  /// ("nothing issued yet") so the very first selection falls through to the
+  /// lowest-slot candidate; a 0 start would skip slot 0 on the first pick
+  /// ("strictly after the last issued slot") forever disadvantaging it.
+  std::uint32_t last_slot_ = kInvalidSlot;
   std::uint32_t greedy_slot_ = kInvalidSlot;  ///< GTO / OWF sticky warp
   std::uint32_t active_group_ = 0;  ///< Two-Level
 };

@@ -147,15 +147,86 @@ void StreamingMultiprocessor::acquire_with_ownership(PairState& p, int side, boo
   }
 }
 
-void StreamingMultiprocessor::step(Cycle now) {
+bool StreamingMultiprocessor::step(Cycle now) {
   drain_events(now);
   l1_.drain(now);
   lsu_port_ = 0;
   sfu_port_ = 0;
-  for (std::uint32_t s = 0; s < schedulers_.size(); ++s) run_scheduler(s, now);
+  if (cfg_.exec_mode == ExecMode::kEvent) {
+    // Only tick() replays deltas; keep the naive loop free of the snapshot.
+    step_begin_stats_ = stats_;
+  }
+  scan_gate_passed_ = false;
+  dyn_blocked_uids_.clear();
+  bool issued = false;
+  for (std::uint32_t s = 0; s < schedulers_.size(); ++s) issued |= run_scheduler(s, now);
+  return issued;
 }
 
-void StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
+Cycle StreamingMultiprocessor::next_wakeup() const {
+  Cycle next = events_.empty() ? kNeverCycle : events_.top().cycle;
+  return std::min(next, l1_.next_ready());
+}
+
+bool StreamingMultiprocessor::tick(Cycle now) {
+  if (now < idle_until_) return false;  // known idle; accounted on wake/flush
+  if (now > last_stepped_ + 1) repeat_idle_accounting(now - last_stepped_ - 1);
+  const bool issued = step(now);
+  last_stepped_ = now;
+  if (issued) {
+    idle_until_ = 0;  // machine state moved; re-scan next cycle
+    return true;
+  }
+  // Nothing issued: until a timed wakeup fires, every future scan repeats
+  // this one — locks, barriers, ownership, and dispatch only move when a
+  // warp on this SM issues. Dyn caveats: a scan taken on a monitoring
+  // boundary used probabilities that on_period_end is about to replace, and
+  // a warp that PASSED a fractional gate (then stalled structurally) may be
+  // gated next cycle, so both pin us to the next cycle. Warps BLOCKED at a
+  // fractional gate are handled exactly: their per-cycle hash draws are the
+  // only cycle-dependent input, so replay the gate sequence (two
+  // hash_combines per warp-cycle, far cheaper than a scan) and stop at the
+  // first cycle any of them would be let through. Never sleep across a
+  // monitoring boundary, where probabilities (and with them the scan) move.
+  Cycle w = next_wakeup();
+  if (dyn_ != nullptr && dyn_->enabled()) {
+    if (scan_gate_passed_ || now % dyn_->period() == 0) {
+      w = now + 1;
+    } else {
+      w = std::min(w, dyn_->next_period_boundary(now));
+      if (!dyn_blocked_uids_.empty()) {
+        Cycle t = now + 1;
+        for (; t < w; ++t) {
+          bool any_allowed = false;
+          for (const std::uint64_t uid : dyn_blocked_uids_) {
+            if (dyn_->allow(id_, t, uid)) {
+              any_allowed = true;
+              break;
+            }
+          }
+          if (any_allowed) break;
+        }
+        w = t;
+      }
+    }
+  }
+  idle_until_ = w;
+  return false;
+}
+
+void StreamingMultiprocessor::flush_idle_accounting(Cycle final_cycle) {
+  if (final_cycle > last_stepped_) {
+    repeat_idle_accounting(final_cycle - last_stepped_);
+    last_stepped_ = final_cycle;
+  }
+}
+
+void StreamingMultiprocessor::repeat_idle_accounting(std::uint64_t n) {
+  const SmStats after = stats_;
+  stats_.accumulate_scaled_delta(step_begin_stats_, after, n);
+}
+
+bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
   cands_.clear();
   bool saw_stall = false;
 
@@ -196,11 +267,18 @@ void StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
     const WarpClass cls = classify(w);
 
     // Dynamic warp execution gate (paper §IV-C): suppressed issue, also
-    // "not ready" this cycle.
+    // "not ready" this cycle. With a fractional probability the decision may
+    // flip from one cycle to the next; record which way it went so tick()
+    // knows how far this scan can be replayed.
     if (dyn_ != nullptr && dyn_->enabled() && is_global_mem(ins->op) &&
-        cls == WarpClass::kSharedNonOwner && !dyn_->allow(id_, now, w.warp_uid)) {
-      ++stats_.dyn_throttled_issues;
-      continue;
+        cls == WarpClass::kSharedNonOwner) {
+      const bool cycle_dependent = dyn_->gate_is_cycle_dependent(id_);
+      if (!dyn_->allow(id_, now, w.warp_uid)) {
+        ++stats_.dyn_throttled_issues;
+        if (cycle_dependent) dyn_blocked_uids_.push_back(w.warp_uid);
+        continue;
+      }
+      scan_gate_passed_ |= cycle_dependent;
     }
 
     // Structural hazards -> stall class.
@@ -238,7 +316,7 @@ void StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
     } else {
       ++stats_.idle_cycles;
     }
-    return;
+    return false;
   }
 
   const std::size_t pick = schedulers_[sched_id].select(cands_);
@@ -248,6 +326,7 @@ void StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
   ++stats_.issued_cycles;
   ++stats_.warp_instructions;
   stats_.thread_instructions += w.active_lanes;
+  return true;
 }
 
 void StreamingMultiprocessor::issue(Warp& w, const Instruction& ins, Cycle now) {

@@ -52,11 +52,45 @@ class StreamingMultiprocessor {
   /// slots U+2p and U+2p+1 are the two sides of pair p).
   void launch_block(BlockSlot slot, std::uint64_t block_uid);
 
-  /// Advance one GPU cycle.
-  void step(Cycle now);
+  /// Advance one GPU cycle. Returns true when any scheduler issued an
+  /// instruction (the event-driven loop may only skip cycles in which no SM
+  /// issued anything).
+  bool step(Cycle now);
 
   /// True when no blocks are resident and no instructions are in flight.
   [[nodiscard]] bool drained() const;
+
+  // --- event-driven execution (gpu/gpu.cc, exec_mode = kEvent) -----------
+  /// Event-aware wrapper around step(): while inside a known-idle window
+  /// (`now < idle_until()`) the call is O(1) — the scan is provably identical
+  /// to the last one and is accounted in bulk when the SM wakes (or at
+  /// flush_idle_accounting). A scan that issues nothing opens a window up to
+  /// the SM's next timed wakeup. Statistics stay bit-identical to calling
+  /// step() every cycle.
+  bool tick(Cycle now);
+
+  /// End of the current known-idle window: this SM's scan cannot change
+  /// before this cycle. 0 when the SM must be stepped next cycle;
+  /// kNeverCycle when only external termination can end the window.
+  [[nodiscard]] Cycle idle_until() const { return idle_until_; }
+
+  /// Account a still-open idle window through `final_cycle` (inclusive).
+  /// Must be called once after the simulation loop exits so skipped trailing
+  /// cycles are reflected in the counters.
+  void flush_idle_accounting(Cycle final_cycle);
+
+  /// Earliest future cycle at which this SM's candidate scan can change on
+  /// its own: the head of the writeback event queue or the first L1 MSHR
+  /// fill (which can unblock MSHR-capacity stalls before the owning warp's
+  /// completion event). kNeverCycle when neither is pending. Everything else
+  /// that affects issuability (locks, barriers, ownership, dispatch) only
+  /// moves when some warp on this SM issues.
+  [[nodiscard]] Cycle next_wakeup() const;
+
+  /// Account `n` further cycles that are provably identical to the (issue-
+  /// free) cycle just stepped: replays the last step's counter increments
+  /// n more times without re-scanning.
+  void repeat_idle_accounting(std::uint64_t n);
 
   /// Copy the L1 counters into the stats block and return it.
   [[nodiscard]] const SmStats& finalize_stats();
@@ -91,7 +125,7 @@ class StreamingMultiprocessor {
   };
 
   void drain_events(Cycle now);
-  void run_scheduler(std::uint32_t sched_id, Cycle now);
+  bool run_scheduler(std::uint32_t sched_id, Cycle now);
   void issue(Warp& w, const Instruction& ins, Cycle now);
   void do_global_access(Warp& w, const Instruction& ins, Cycle now);
   void handle_exit(Warp& w);
@@ -131,6 +165,16 @@ class StreamingMultiprocessor {
   std::uint32_t resident_warps_ = 0;
 
   SmStats stats_;
+  SmStats step_begin_stats_;            ///< snapshot for repeat_idle_accounting
+  /// Last scan let a warp through a fractional Dyn gate (without issuing):
+  /// the same warp may be gated next cycle, reshuffling blocked counters.
+  bool scan_gate_passed_ = false;
+  /// Warps the last scan blocked at a fractional Dyn gate; their per-cycle
+  /// hash draws are the only cycle-dependent part of an issue-free scan, so
+  /// tick() can fast-forward to the first cycle any of them is allowed.
+  std::vector<std::uint64_t> dyn_blocked_uids_;
+  Cycle idle_until_ = 0;                ///< end of the current known-idle window
+  Cycle last_stepped_ = 0;              ///< last cycle step() actually ran
   BlockFinishFn on_block_finish_;
 
   // scratch buffers (avoid per-cycle allocation)

@@ -27,6 +27,12 @@ TEST(Config, DefaultsMatchPaperTableI) {
   EXPECT_EQ(c.max_warps_per_sm(), 48u);
 }
 
+TEST(Config, ExecModeDefaultsToEventAndRoundTrips) {
+  EXPECT_EQ(GpuConfig{}.exec_mode, ExecMode::kEvent);
+  EXPECT_STREQ(to_string(ExecMode::kCycle), "cycle");
+  EXPECT_STREQ(to_string(ExecMode::kEvent), "event");
+}
+
 TEST(Config, LineLabelsMatchPaperFigureLegends) {
   EXPECT_EQ(configs::unshared().line_label(), "Unshared-LRR");
   EXPECT_EQ(configs::unshared(SchedulerKind::kGto).line_label(), "Unshared-GTO");
@@ -64,6 +70,41 @@ TEST(ConfigDeath, MismatchedLineSizesRejected) {
   GpuConfig c;
   c.l1.line_bytes = 64;
   EXPECT_DEATH(c.validate(), "line_bytes");
+}
+
+// Regression: MemorySystem::access computes (l2_hit_latency - 40) / 2 on an
+// unsigned Cycle, so a sweep point with l2_hit_latency < 40 used to wrap to
+// ~2^63 and destroy the simulation instead of being rejected here.
+TEST(ConfigDeath, L2HitLatencyBelowPipelineRejected) {
+  GpuConfig c;
+  c.l2_hit_latency = 39;
+  EXPECT_DEATH(c.validate(), "L2 pipeline");
+  c.l2_hit_latency = 0;
+  EXPECT_DEATH(c.validate(), "L2 pipeline");
+}
+
+TEST(ConfigDeath, OddL2TransitRejected) {
+  GpuConfig c;
+  c.l2_hit_latency = kL2PipeLatency + 3;  // transit cannot split evenly
+  EXPECT_DEATH(c.validate(), "even");
+}
+
+TEST(Config, L2HitLatencyAtPipelineFloorIsAccepted) {
+  GpuConfig c;
+  c.l2_hit_latency = kL2PipeLatency;  // zero-cycle interconnect is legal
+  c.validate();
+}
+
+TEST(ConfigDeath, FractionalL2SetSplitRejected) {
+  GpuConfig c;
+  c.l2.size_bytes = 768 * 1024 + 512;  // not a whole number of sets
+  EXPECT_DEATH(c.validate(), "whole number of sets");
+}
+
+TEST(ConfigDeath, TooFewL2MshrEntriesForBankSplitRejected) {
+  GpuConfig c;
+  c.l2.mshr_entries = c.dram.num_channels - 1;  // some bank would get zero
+  EXPECT_DEATH(c.validate(), "MSHR entry per DRAM channel");
 }
 
 // --- stats ---------------------------------------------------------------------

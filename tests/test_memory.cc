@@ -99,6 +99,40 @@ TEST(Cache, DistinctSetsDoNotConflict) {
   for (Addr i = 0; i < 32; ++i) EXPECT_TRUE(c.lookup(i * 128, 100).hit) << i;
 }
 
+TEST(Cache, NextReadyTracksEarliestInflightMiss) {
+  Cache c(CacheConfig{});
+  EXPECT_EQ(c.next_ready(), kNeverCycle);
+  (void)c.lookup(0, 0);
+  c.fill_inflight(0, 120);
+  (void)c.lookup(128, 0);
+  c.fill_inflight(128, 80);
+  EXPECT_EQ(c.next_ready(), 80u);
+  c.drain(80);
+  EXPECT_EQ(c.next_ready(), 120u);
+  c.drain(120);
+  EXPECT_EQ(c.next_ready(), kNeverCycle);
+}
+
+TEST(Cache, BatchDrainInstallsInReadyOrder) {
+  // A drain covering several cycles at once (event-driven wakeup) must stamp
+  // LRU recency in ready order, exactly as a cycle-by-cycle drain would.
+  CacheConfig cfg;
+  cfg.size_bytes = 2 * 128;  // one set, two ways
+  cfg.ways = 2;
+  cfg.line_bytes = 128;
+  Cache c(cfg);
+  (void)c.lookup(0, 0);
+  c.fill_inflight(0, 20);  // ready late
+  (void)c.lookup(128, 0);
+  c.fill_inflight(128, 10);  // ready early
+  c.drain(25);  // one batch: must install line 128 (ready 10) before line 0
+  (void)c.lookup(256, 30);  // third line: evicts the LRU way
+  c.fill_inflight(256, 30);
+  c.drain(31);
+  EXPECT_TRUE(c.lookup(0, 40).hit) << "most-recently-installed line evicted";
+  EXPECT_FALSE(c.lookup(128, 41).hit) << "LRU (earliest-ready) line kept";
+}
+
 // --- DRAM ---------------------------------------------------------------------
 
 TEST(Dram, RowHitCheaperThanRowMiss) {
@@ -173,6 +207,45 @@ TEST(MemSys, DistinctLinesReachDram) {
   (void)m.access(0, 0);
   (void)m.access(1 << 20, 0);
   EXPECT_EQ(m.dram_requests(), 2u);
+}
+
+// Regression: the bank split used to integer-divide size_bytes and
+// mshr_entries by num_channels, silently shrinking total L2 capacity and
+// MSHRs whenever the division had a remainder (the default 256 MSHRs over 6
+// channels lost 4 entries). The per-bank sums must reconstruct the
+// configured totals exactly.
+TEST(MemSys, BankSplitReconstructsConfiguredTotals) {
+  GpuConfig cfg;
+  cfg.dram.num_channels = 5;          // 768 sets -> 153*5 + 3 remainder
+  cfg.l2.mshr_entries = 257;          // 51*5 + 2 remainder
+  MemorySystem m(cfg);
+  ASSERT_EQ(m.num_banks(), 5u);
+  std::uint64_t sum_bytes = 0, sum_mshr = 0;
+  for (std::uint32_t b = 0; b < m.num_banks(); ++b) {
+    const CacheConfig& bank = m.bank_config(b);
+    EXPECT_GE(bank.num_sets(), 1u) << "bank " << b;
+    // Low banks take the remainder, so per-bank capacity never increases.
+    if (b > 0) {
+      EXPECT_LE(bank.size_bytes, m.bank_config(b - 1).size_bytes);
+      EXPECT_LE(bank.mshr_entries, m.bank_config(b - 1).mshr_entries);
+    }
+    sum_bytes += bank.size_bytes;
+    sum_mshr += bank.mshr_entries;
+  }
+  EXPECT_EQ(sum_bytes, cfg.l2.size_bytes);
+  EXPECT_EQ(sum_mshr, cfg.l2.mshr_entries);
+}
+
+TEST(MemSys, DefaultConfigBankSplitIsExact) {
+  const GpuConfig cfg;  // 768KB / 6 channels, 256 MSHRs / 6 channels
+  MemorySystem m(cfg);
+  std::uint64_t sum_bytes = 0, sum_mshr = 0;
+  for (std::uint32_t b = 0; b < m.num_banks(); ++b) {
+    sum_bytes += m.bank_config(b).size_bytes;
+    sum_mshr += m.bank_config(b).mshr_entries;
+  }
+  EXPECT_EQ(sum_bytes, cfg.l2.size_bytes);
+  EXPECT_EQ(sum_mshr, cfg.l2.mshr_entries);
 }
 
 // --- Coalescer --------------------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cctype>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,43 @@ TEST(ThreadPool, ZeroRequestedThreadsClampsToOne) {
   pool.submit([&counter] { ++counter; });
   pool.wait();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, RethrowsFirstJobExceptionAndStaysUsable) {
+  // A throwing job used to std::terminate the whole process inside the
+  // worker thread; wait() must surface it to the submitting caller instead.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i)
+    pool.submit([&ran] {
+      ++ran;
+      throw std::runtime_error("job failed");
+    });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 20) << "remaining jobs must still run";
+
+  // The error is consumed: the pool remains usable afterwards.
+  pool.submit([&ran] { ++ran; });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(Engine, RethrowsWorkerExceptionToCaller) {
+  RunOptions options;
+  options.threads = 4;
+  options.progress = [](std::size_t done, std::size_t) {
+    if (done == 2) throw std::runtime_error("sweep point failed");
+  };
+  EXPECT_THROW((void)run_sweep(tiny_spec(), options), std::runtime_error);
+}
+
+TEST(Engine, SerialPathPropagatesExceptionsToo) {
+  RunOptions options;
+  options.threads = 1;
+  options.progress = [](std::size_t, std::size_t) {
+    throw std::runtime_error("serial failure");
+  };
+  EXPECT_THROW((void)run_sweep(tiny_spec(), options), std::runtime_error);
 }
 
 // --- sweep spec ---------------------------------------------------------------

@@ -15,11 +15,43 @@ SchedCandidate c(std::uint32_t slot, std::uint64_t age,
 TEST(Lrr, RotatesThroughCandidates) {
   WarpScheduler s(SchedulerKind::kLrr, 8, 8);
   const std::vector<SchedCandidate> cands{c(0, 0), c(2, 1), c(4, 2), c(6, 3)};
-  EXPECT_EQ(cands[s.select(cands)].slot, 2u);  // after initial last=0
+  EXPECT_EQ(cands[s.select(cands)].slot, 0u);  // nothing issued yet: lowest slot
+  EXPECT_EQ(cands[s.select(cands)].slot, 2u);
   EXPECT_EQ(cands[s.select(cands)].slot, 4u);
   EXPECT_EQ(cands[s.select(cands)].slot, 6u);
   EXPECT_EQ(cands[s.select(cands)].slot, 0u);  // wraps
   EXPECT_EQ(cands[s.select(cands)].slot, 2u);
+}
+
+// Regression for the last_slot_ = 0 initial state: warp slot 0 could never
+// win the very first selection ("strictly after the last issued slot"), a
+// permanent fairness bias against the first warp of every SM. All four
+// policies must be able to pick slot 0 on their first call.
+TEST(FirstPick, Lrr) {
+  WarpScheduler s(SchedulerKind::kLrr, 8, 8);
+  const std::vector<SchedCandidate> cands{c(0, 0), c(1, 1), c(2, 2)};
+  EXPECT_EQ(cands[s.select(cands)].slot, 0u);
+}
+
+TEST(FirstPick, Gto) {
+  // No greedy warp yet: oldest (smallest dynamic id) wins, slot 0 included.
+  WarpScheduler s(SchedulerKind::kGto, 8, 8);
+  const std::vector<SchedCandidate> cands{c(0, 0), c(1, 1), c(2, 2)};
+  EXPECT_EQ(cands[s.select(cands)].slot, 0u);
+}
+
+TEST(FirstPick, TwoLevel) {
+  // Active group 0, round-robin start: lowest slot of the group.
+  WarpScheduler s(SchedulerKind::kTwoLevel, 16, 8);
+  const std::vector<SchedCandidate> cands{c(0, 0), c(1, 1), c(9, 2)};
+  EXPECT_EQ(cands[s.select(cands)].slot, 0u);
+}
+
+TEST(FirstPick, Owf) {
+  // All-unshared degenerates to GTO: oldest wins, slot 0 included.
+  WarpScheduler s(SchedulerKind::kOwf, 8, 8);
+  const std::vector<SchedCandidate> cands{c(0, 0), c(1, 1), c(2, 2)};
+  EXPECT_EQ(cands[s.select(cands)].slot, 0u);
 }
 
 TEST(Lrr, SkipsMissingSlots) {
