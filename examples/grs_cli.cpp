@@ -4,17 +4,24 @@
 //   grs_cli --kernel hotspot --share registers --t 0.1 --sched owf
 //           [--unroll] [--dyn] [--grid N] [--compare]
 //
-//   --kernel NAME     one of the 19 paper kernels (default hotspot)
+//   --kernel SPEC     a built-in kernel name (default hotspot), a .gkd file
+//                     path, or gen:<profile>:<seed> (see src/runner/kernel_source.h)
+//   --load FILE       load the kernel from a .gkd file (always treated as a
+//                     file path, whatever it is named)
+//   --gen SEED        generate the kernel from a seed (workloads/gen)
+//   --profile NAME    generator profile for --gen (default balanced)
+//   --dump FILE       write the resolved kernel as .gkd to FILE and exit
 //   --share RES       registers | scratchpad | none        (default none)
-//   --t X             sharing threshold in (0,1]           (default 0.1)
+//   --t X             sharing threshold in [0.001, 1]      (default 0.1)
 //   --sched S         lrr | gto | twolevel | owf           (default lrr)
 //   --unroll          enable register-declaration reordering
 //   --dyn             enable dynamic warp execution
-//   --grid N          override grid size
+//   --grid N          override grid size (>= 1)
 //   --compare         also run Unshared-LRR and print the delta
 //   --exec-mode M     cycle | event (default event; bit-identical stats, the
 //                     event loop skips cycles in which no SM can issue)
-//   --list            list kernels and exit
+//   --list            list built-in kernels and exit
+//   --list-profiles   list generator profiles and exit
 //
 // Sweep mode (runs the configured line over *all* kernels in parallel via the
 // experiment engine, src/runner/):
@@ -27,17 +34,21 @@
 #include <string>
 
 #include "common/config.h"
+#include "common/parse.h"
 #include "gpu/simulator.h"
 #include "runner/engine.h"
+#include "runner/kernel_source.h"
 #include "runner/sink.h"
+#include "workloads/format/gkd.h"
+#include "workloads/gen/generator.h"
 #include "workloads/suites.h"
 
 using namespace grs;
 
 namespace {
 
-[[noreturn]] void usage(const char* msg) {
-  std::fprintf(stderr, "error: %s\n(see the header of examples/grs_cli.cpp)\n", msg);
+[[noreturn]] void usage(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n(see the header of examples/grs_cli.cpp)\n", msg.c_str());
   std::exit(2);
 }
 
@@ -55,50 +66,126 @@ ExecMode parse_exec_mode(const std::string& s) {
   usage("unknown --exec-mode (cycle | event)");
 }
 
+/// Strict numeric parsing (common/parse.h): the whole argument must be a
+/// number in range — no silent atoi()-style "garbage reads as 0".
+std::uint64_t arg_u64(const std::string& flag, const std::string& value) {
+  const auto v = parse_u64(value);
+  if (!v.has_value()) usage(flag + " expects a non-negative integer, got '" + value + "'");
+  return *v;
+}
+
+std::uint32_t arg_u32(const std::string& flag, const std::string& value) {
+  const auto v = parse_u32(value);
+  if (!v.has_value()) usage(flag + " expects a non-negative integer, got '" + value + "'");
+  return *v;
+}
+
+double arg_double(const std::string& flag, const std::string& value) {
+  const auto v = parse_finite_double(value);
+  if (!v.has_value()) usage(flag + " expects a number, got '" + value + "'");
+  return *v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string kernel_name = "hotspot";
+  std::string kernel_spec = "hotspot";
   std::string share = "none";
-  std::string out_csv;
+  std::string out_csv, dump_file, profile_name = "balanced";
+  bool profile_set = false;
   double t = 0.1;
   SchedulerKind sched = SchedulerKind::kLrr;
   ExecMode exec_mode = ExecMode::kEvent;
-  bool unroll = false, dyn = false, compare = false, sweep = false, kernel_set = false;
+  bool unroll = false, dyn = false, compare = false, sweep = false;
+  bool kernel_set = false, load_set = false, gen_set = false;
+  std::uint64_t gen_seed = 0;
   std::uint32_t grid = 0;
   unsigned threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      if (i + 1 >= argc) usage("missing value for " + a);
       return argv[++i];
     };
     if (a == "--kernel") {
-      kernel_name = next();
+      kernel_spec = next();
       kernel_set = true;
-    }
-    else if (a == "--share") share = next();
-    else if (a == "--t") t = std::atof(next().c_str());
-    else if (a == "--sched") sched = parse_sched(next());
-    else if (a == "--exec-mode") exec_mode = parse_exec_mode(next());
-    else if (a == "--unroll") unroll = true;
-    else if (a == "--dyn") dyn = true;
-    else if (a == "--grid") grid = static_cast<std::uint32_t>(std::atoi(next().c_str()));
-    else if (a == "--compare") compare = true;
-    else if (a == "--sweep") sweep = true;
-    else if (a == "--threads") threads = static_cast<unsigned>(std::atoi(next().c_str()));
-    else if (a == "--out") out_csv = next();
-    else if (a == "--list") {
+    } else if (a == "--load") {
+      kernel_spec = next();
+      load_set = true;
+    } else if (a == "--gen") {
+      gen_seed = arg_u64(a, next());
+      gen_set = true;
+    } else if (a == "--profile") {
+      profile_name = next();
+      profile_set = true;
+    } else if (a == "--dump") {
+      dump_file = next();
+    } else if (a == "--share") {
+      share = next();
+    } else if (a == "--t") {
+      t = arg_double(a, next());
+      if (!(t >= 0.001 && t <= 1.0)) usage("--t must be in [0.001, 1]");
+    } else if (a == "--sched") {
+      sched = parse_sched(next());
+    } else if (a == "--exec-mode") {
+      exec_mode = parse_exec_mode(next());
+    } else if (a == "--unroll") {
+      unroll = true;
+    } else if (a == "--dyn") {
+      dyn = true;
+    } else if (a == "--grid") {
+      grid = arg_u32(a, next());
+      if (grid == 0) usage("--grid must be >= 1");
+    } else if (a == "--compare") {
+      compare = true;
+    } else if (a == "--sweep") {
+      sweep = true;
+    } else if (a == "--threads") {
+      threads = arg_u32(a, next());
+    } else if (a == "--out") {
+      out_csv = next();
+    } else if (a == "--list") {
       for (const auto& n : workloads::all_names()) std::printf("%s\n", n.c_str());
       return 0;
+    } else if (a == "--list-profiles") {
+      for (const auto& p : workloads::gen::all_profiles()) std::printf("%s\n", p.name.c_str());
+      return 0;
     } else {
-      usage(("unknown flag " + a).c_str());
+      usage("unknown flag " + a);
     }
   }
+  if (static_cast<int>(kernel_set) + static_cast<int>(load_set) + static_cast<int>(gen_set) > 1)
+    usage("--kernel, --load and --gen are mutually exclusive");
+  if (profile_set && !gen_set) usage("--profile only applies together with --gen");
 
-  KernelInfo kernel = workloads::by_name(kernel_name);
+  KernelInfo kernel;
+  try {
+    if (gen_set) {
+      kernel = workloads::gen::generate(workloads::gen::profile_by_name(profile_name), gen_seed);
+    } else if (load_set) {
+      kernel = workloads::gkd::load_file(kernel_spec);  // always a file, whatever its name
+    } else {
+      kernel = runner::resolve_kernel(kernel_spec);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   if (grid != 0) kernel.grid_blocks = grid;
+
+  if (!dump_file.empty()) {
+    try {
+      workloads::gkd::dump_file(kernel, dump_file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::printf("wrote %s (%zu static instructions) to %s\n", kernel.name.c_str(),
+                kernel.program.static_length(), dump_file.c_str());
+    return 0;
+  }
 
   GpuConfig cfg = configs::unshared(sched);
   cfg.exec_mode = exec_mode;
@@ -114,9 +201,24 @@ int main(int argc, char** argv) {
   }
   cfg.validate();
 
+  // A .gkd file can describe a kernel the SM cannot host at all; report that
+  // as a clean error here rather than aborting inside compute_occupancy().
+  const KernelResources& res = kernel.resources;
+  if (res.warps_per_block(cfg.warp_size) > cfg.max_warps_per_sm() ||
+      res.regs_per_block() > cfg.registers_per_sm ||
+      res.smem_per_block > cfg.scratchpad_per_sm) {
+    std::fprintf(stderr,
+                 "error: kernel '%s' does not fit on one SM (%u threads, %u regs/thread, "
+                 "%u smem bytes vs limits %u threads, %u regs, %u bytes)\n",
+                 kernel.name.c_str(), res.threads_per_block, res.regs_per_thread,
+                 res.smem_per_block, cfg.max_threads_per_sm, cfg.registers_per_sm,
+                 cfg.scratchpad_per_sm);
+    return 2;
+  }
+
   if (sweep) {
-    if (kernel_set || grid != 0 || compare)
-      usage("--sweep runs every kernel; --kernel/--grid/--compare do not apply");
+    if (kernel_set || load_set || gen_set || grid != 0 || compare)
+      usage("--sweep runs every kernel; --kernel/--load/--gen/--grid/--compare do not apply");
     runner::SweepSpec spec;
     for (const auto& name : workloads::all_names())
       spec.add(cfg.line_label(), cfg, workloads::by_name(name));
@@ -132,7 +234,7 @@ int main(int argc, char** argv) {
 
     if (!out_csv.empty()) {
       std::ofstream f(out_csv);
-      if (!f) usage(("cannot open " + out_csv).c_str());
+      if (!f) usage("cannot open " + out_csv);
       runner::CsvSink csv(f);
       csv.begin();
       for (const auto& row : rows) csv.add(cfg.line_label(), row);
@@ -153,7 +255,9 @@ int main(int argc, char** argv) {
               r.occupancy.shared_pairs);
 
   if (compare) {
-    const SimResult base = simulate(configs::unshared(), kernel);
+    GpuConfig base_cfg = configs::unshared();
+    base_cfg.exec_mode = exec_mode;
+    const SimResult base = simulate(base_cfg, kernel);
     std::printf("\nvs Unshared-LRR: IPC %.2f -> %.2f (%+.2f%%)\n", base.stats.ipc(),
                 r.stats.ipc(), percent_improvement(base.stats.ipc(), r.stats.ipc()));
   }

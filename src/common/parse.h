@@ -1,0 +1,51 @@
+// Strict, whole-string numeric parsing for CLI frontends.
+//
+// Unlike atoi/atof, these reject partial parses ("4x"), empty strings, and
+// out-of-range values instead of silently reading 0 — callers turn
+// std::nullopt into their own usage errors. The integer parsers accept only
+// decimal digits (no signs or whitespace); the double parser accepts any
+// finite strtod() spelling covering the whole string (signed, exponent or
+// hex-float forms included), rejecting NaN and infinities so callers' range
+// checks behave as written.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace grs {
+
+/// Non-negative decimal integer; the entire string must be digits.
+[[nodiscard]] inline std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto d = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - d) / 10) return std::nullopt;
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+[[nodiscard]] inline std::optional<std::uint32_t> parse_u32(const std::string& s) {
+  const std::optional<std::uint64_t> v = parse_u64(s);
+  if (!v.has_value() || *v > UINT32_MAX) return std::nullopt;
+  return static_cast<std::uint32_t>(*v);
+}
+
+/// Finite double covering the whole string (NaN and inf are rejected, so a
+/// range check like `*v >= lo && *v <= hi` behaves as written).
+[[nodiscard]] inline std::optional<double> parse_finite_double(const std::string& s) {
+  if (s.empty() || s[0] == ' ' || s[0] == '\t') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) return std::nullopt;
+  if (!(v == v) || v > 1e308 || v < -1e308) return std::nullopt;  // NaN / inf
+  return v;
+}
+
+}  // namespace grs

@@ -1,0 +1,54 @@
+#include "isa/text.h"
+
+namespace grs {
+
+namespace {
+
+constexpr Op kAllOps[] = {Op::kAlu,      Op::kSfu,      Op::kLdGlobal, Op::kStGlobal,
+                          Op::kLdShared, Op::kStShared, Op::kBarrier,  Op::kExit};
+
+constexpr MemPattern kAllPatterns[] = {MemPattern::kCoalesced, MemPattern::kStrided2,
+                                       MemPattern::kStrided4, MemPattern::kScatter8,
+                                       MemPattern::kScatter32};
+
+constexpr Locality kAllLocalities[] = {Locality::kStreaming, Locality::kWarpLocal,
+                                       Locality::kBlockLocal, Locality::kGridShared,
+                                       Locality::kRandom};
+
+template <typename E, std::size_t N>
+std::optional<E> from_string(const E (&all)[N], const std::string& s) {
+  for (E e : all) {
+    if (s == to_string(e)) return e;
+  }
+  return std::nullopt;
+}
+
+template <typename E, std::size_t N>
+std::string join_names(const E (&all)[N]) {
+  std::string out;
+  for (E e : all) {
+    if (!out.empty()) out += ' ';
+    out += to_string(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Op> op_from_string(const std::string& s) { return from_string(kAllOps, s); }
+
+std::optional<MemPattern> mem_pattern_from_string(const std::string& s) {
+  return from_string(kAllPatterns, s);
+}
+
+std::optional<Locality> locality_from_string(const std::string& s) {
+  return from_string(kAllLocalities, s);
+}
+
+std::string all_op_names() { return join_names(kAllOps); }
+
+std::string all_mem_pattern_names() { return join_names(kAllPatterns); }
+
+std::string all_locality_names() { return join_names(kAllLocalities); }
+
+}  // namespace grs

@@ -1,0 +1,23 @@
+// Text names of the IR enums: parsing counterparts of the to_string()
+// overloads in isa/opcode.h. The .gkd loader (workloads/format) resolves
+// opcode / memory-pattern / locality tokens through these; error paths use
+// the *_names() lists so messages can show every valid spelling.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "isa/opcode.h"
+
+namespace grs {
+
+[[nodiscard]] std::optional<Op> op_from_string(const std::string& s);
+[[nodiscard]] std::optional<MemPattern> mem_pattern_from_string(const std::string& s);
+[[nodiscard]] std::optional<Locality> locality_from_string(const std::string& s);
+
+/// Space-separated list of every valid text name, for error messages.
+[[nodiscard]] std::string all_op_names();
+[[nodiscard]] std::string all_mem_pattern_names();
+[[nodiscard]] std::string all_locality_names();
+
+}  // namespace grs

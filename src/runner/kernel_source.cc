@@ -1,0 +1,52 @@
+#include "runner/kernel_source.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "common/parse.h"
+#include "workloads/format/gkd.h"
+#include "workloads/gen/generator.h"
+#include "workloads/suites.h"
+
+namespace grs::runner {
+
+namespace {
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+KernelInfo resolve_kernel(const std::string& spec) {
+  if (spec.compare(0, 4, "gen:") == 0) {
+    const std::string rest = spec.substr(4);  // "<profile>:<seed>"
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw std::runtime_error("bad generator spec '" + spec +
+                               "': expected gen:<profile>:<seed>");
+    }
+    const std::optional<std::uint64_t> seed = parse_u64(rest.substr(colon + 1));
+    if (!seed.has_value()) {
+      throw std::runtime_error("bad generator spec '" + spec +
+                               "': seed must be a non-negative integer");
+    }
+    const workloads::gen::GenProfile profile =
+        workloads::gen::profile_by_name(rest.substr(0, colon));
+    return workloads::gen::generate(profile, *seed);
+  }
+  if (has_suffix(spec, ".gkd") || spec.find('/') != std::string::npos) {
+    return workloads::gkd::load_file(spec);
+  }
+  if (std::optional<KernelInfo> k = workloads::find_by_name(spec)) return *std::move(k);
+  std::string names;
+  for (const auto& n : workloads::all_names()) {
+    if (!names.empty()) names += ' ';
+    names += n;
+  }
+  throw std::runtime_error("unknown kernel '" + spec + "'; valid names: " + names +
+                           " (or a .gkd file path, or gen:<profile>:<seed>)");
+}
+
+}  // namespace grs::runner

@@ -1,0 +1,24 @@
+// Kernel ingestion hook for CLI/driver frontends: resolve a kernel argument
+// to a KernelInfo wherever it comes from — a built-in paper kernel, a .gkd
+// file on disk (workloads/format), or the seeded generator (workloads/gen).
+//
+//   hotspot               built-in (workloads::by_name)
+//   path/to/kernel.gkd    .gkd file: spec contains '/' or ends in ".gkd"
+//   gen:balanced:42       generator: profile "balanced", seed 42
+//
+// Errors (unknown names, unreadable/malformed files, bad generator specs)
+// are reported as std::runtime_error with an actionable message — including
+// the valid kernel/profile names — so frontends can print them and exit
+// instead of aborting the process.
+#pragma once
+
+#include <string>
+
+#include "workloads/kernel_info.h"
+
+namespace grs::runner {
+
+/// Resolve `spec` to a kernel; throws std::runtime_error on any failure.
+[[nodiscard]] KernelInfo resolve_kernel(const std::string& spec);
+
+}  // namespace grs::runner

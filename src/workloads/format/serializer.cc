@@ -1,0 +1,89 @@
+// Canonical .gkd emission. The loader (loader.cc) is the exact inverse on
+// this output, which is what makes round-trips byte-identical.
+#include <string>
+
+#include "workloads/format/gkd.h"
+
+namespace grs::workloads::gkd {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string reg_text(RegNum r) {
+  return r == kNoReg ? std::string("-") : "$r" + std::to_string(r);
+}
+
+std::string global_mem_suffix(const Instruction& i) {
+  std::string out = std::string(to_string(i.pattern)) + " " + to_string(i.locality) +
+                    " region=" + std::to_string(i.region) +
+                    " lines=" + std::to_string(i.footprint_lines);
+  return out;
+}
+
+std::string instr_text(const Instruction& i) {
+  const std::string op = to_string(i.op);
+  switch (i.op) {
+    case Op::kAlu:
+    case Op::kSfu: {
+      // Print operands up to the last used slot; '-' fills interior holes.
+      int last = -1;
+      const RegNum ops[3] = {i.dst, i.src0, i.src1};
+      for (int k = 0; k < 3; ++k) {
+        if (ops[k] != kNoReg) last = k;
+      }
+      std::string out = op;
+      for (int k = 0; k <= last; ++k) {
+        out += k == 0 ? " " : ", ";
+        out += reg_text(ops[k]);
+      }
+      return out;
+    }
+    case Op::kLdGlobal: {
+      std::string out = op + " " + reg_text(i.dst) + ", " + global_mem_suffix(i);
+      if (i.src0 != kNoReg) out += " addr=" + reg_text(i.src0);
+      return out;
+    }
+    case Op::kStGlobal:
+      return op + " " + reg_text(i.src0) + ", " + global_mem_suffix(i);
+    case Op::kLdShared:
+      return op + " " + reg_text(i.dst) + ", smem[" + std::to_string(i.smem_offset) + "]";
+    case Op::kStShared:
+      return op + " " + reg_text(i.src0) + ", smem[" + std::to_string(i.smem_offset) + "]";
+    case Op::kBarrier:
+    case Op::kExit:
+      return op;
+  }
+  return op;
+}
+
+}  // namespace
+
+std::string serialize(const KernelInfo& k) {
+  std::string out;
+  out += "gkd 1\n";
+  out += "kernel " + quoted(k.name) + "\n";
+  out += "suite " + quoted(k.suite) + "\n";
+  out += "set " + quoted(k.set) + "\n";
+  out += "threads " + std::to_string(k.resources.threads_per_block) + "\n";
+  out += "regs " + std::to_string(k.resources.regs_per_thread) + "\n";
+  out += "smem " + std::to_string(k.resources.smem_per_block) + "\n";
+  out += "grid " + std::to_string(k.grid_blocks) + "\n";
+  out += "lanes " + std::to_string(k.active_lanes) + "\n";
+  for (const Segment& s : k.program.segments()) {
+    out += "\nsegment x" + std::to_string(s.iterations) + " {\n";
+    for (const Instruction& i : s.instrs) out += "  " + instr_text(i) + "\n";
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace grs::workloads::gkd

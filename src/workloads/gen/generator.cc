@@ -1,0 +1,198 @@
+#include "workloads/gen/generator.h"
+
+#include <algorithm>
+
+#include "common/config.h"
+#include "common/prng.h"
+#include "core/occupancy.h"
+#include "isa/builder.h"
+
+namespace grs::workloads::gen {
+
+namespace {
+
+/// The op menu the generator draws from, with the profile's weights; shared
+/// memory ops are dropped when the sampled kernel has no scratchpad.
+struct Menu {
+  struct Choice {
+    Op op;
+    std::uint32_t weight;
+  };
+  std::vector<Choice> choices;
+  std::uint64_t total = 0;
+
+  void add(Op op, std::uint32_t weight) {
+    if (weight == 0) return;
+    choices.push_back({op, weight});
+    total += weight;
+  }
+
+  Op pick(SplitMix64& rng) const {
+    if (total == 0) return Op::kAlu;
+    std::uint64_t r = rng.next_below(total);
+    for (const Choice& c : choices) {
+      if (r < c.weight) return c.op;
+      r -= c.weight;
+    }
+    return Op::kAlu;
+  }
+};
+
+}  // namespace
+
+KernelInfo generate(const GenProfile& p, std::uint64_t seed) {
+  // Fold the profile name into the seed so distinct profiles draw distinct
+  // streams from the same seed number.
+  std::uint64_t h = mix64(seed);
+  for (char c : p.name) h = hash_combine(h, static_cast<unsigned char>(c));
+  SplitMix64 rng(h);
+
+  const GpuConfig caps;  ///< default = paper Table I; generated kernels must fit it
+
+  auto pick_u32 = [&rng](const std::vector<std::uint32_t>& v, std::uint32_t fallback) {
+    return v.empty() ? fallback : v[rng.next_below(v.size())];
+  };
+  auto range = [&rng](std::uint32_t lo, std::uint32_t hi) {
+    return hi <= lo ? lo : lo + static_cast<std::uint32_t>(rng.next_below(hi - lo + 1));
+  };
+
+  // --- resource demand, clamped to fit the default SM ----------------------
+  const std::uint32_t threads = std::min(pick_u32(p.block_sizes, 128), caps.max_threads_per_sm);
+  std::uint32_t regs = range(p.regs_min, p.regs_max);
+  regs = std::min(regs, caps.registers_per_sm / threads);
+  regs = std::max<std::uint32_t>(regs, 2);
+  std::uint32_t smem = p.smem_max == 0 ? 0 : range(p.smem_min, p.smem_max);
+  smem = std::min(smem, caps.scratchpad_per_sm);
+  if (smem > 0 && smem < 64) smem = 64;  // too small to be an interesting tile
+
+  Menu menu;
+  menu.add(Op::kAlu, p.w_alu);
+  menu.add(Op::kSfu, p.w_sfu);
+  menu.add(Op::kLdGlobal, p.w_ld_global);
+  menu.add(Op::kStGlobal, p.w_st_global);
+  if (smem > 0) {
+    menu.add(Op::kLdShared, p.w_ld_shared);
+    menu.add(Op::kStShared, p.w_st_shared);
+  }
+  menu.add(Op::kBarrier, p.w_barrier);
+
+  // --- program ------------------------------------------------------------
+  ProgramBuilder b(static_cast<RegNum>(regs));
+  std::uint32_t intro = 0;  ///< registers introduced so far (first-use order)
+  const std::uint32_t window = std::max<std::uint32_t>(p.dep_window, 1);
+
+  auto pick_dst = [&]() -> RegNum {
+    if (intro == 0 || (intro < regs && rng.next_below(100) < 55)) {
+      return static_cast<RegNum>(intro++);
+    }
+    const std::uint32_t lo = intro > window ? intro - window : 0;
+    return static_cast<RegNum>(lo + rng.next_below(intro - lo));
+  };
+  auto pick_src = [&]() -> RegNum {
+    if (intro == 0) return kNoReg;
+    const std::uint32_t lo = intro > window ? intro - window : 0;
+    return static_cast<RegNum>(lo + rng.next_below(intro - lo));
+  };
+  auto pick_pattern = [&]() {
+    return p.patterns.empty() ? MemPattern::kCoalesced
+                              : p.patterns[rng.next_below(p.patterns.size())];
+  };
+  auto pick_locality = [&]() {
+    return p.localities.empty() ? Locality::kStreaming
+                                : p.localities[rng.next_below(p.localities.size())];
+  };
+  // Every rng-consuming call below is hoisted into a named local: argument
+  // evaluation order is unspecified in C++, and a draw order that varied by
+  // compiler would break the deterministic-per-(profile, seed) contract.
+  auto emit = [&](ProgramBuilder& out, Op op) {
+    switch (op) {
+      case Op::kAlu: {
+        const RegNum dst = pick_dst();
+        const RegNum src0 = pick_src();
+        const RegNum src1 = rng.next_below(2) == 0 ? pick_src() : kNoReg;
+        out.alu(dst, src0, src1);
+        break;
+      }
+      case Op::kSfu: {
+        const RegNum dst = pick_dst();
+        const RegNum src0 = pick_src();
+        out.sfu(dst, src0);
+        break;
+      }
+      case Op::kLdGlobal: {
+        const MemPattern pat = pick_pattern();
+        const Locality loc = pick_locality();
+        const auto region =
+            static_cast<std::uint8_t>(1 + rng.next_below(std::min(p.regions_max, 255u)));
+        const auto lines =
+            static_cast<std::uint32_t>(1 + rng.next_below(std::max(p.footprint_lines_max, 1u)));
+        const RegNum addr = rng.next_below(4) == 0 ? pick_src() : kNoReg;
+        const RegNum dst = pick_dst();
+        out.ld_global(dst, pat, loc, region, lines, addr);
+        break;
+      }
+      case Op::kStGlobal: {
+        const MemPattern pat = pick_pattern();
+        const Locality loc = pick_locality();
+        const auto region =
+            static_cast<std::uint8_t>(1 + rng.next_below(std::min(p.regions_max, 255u)));
+        const auto lines =
+            static_cast<std::uint32_t>(1 + rng.next_below(std::max(p.footprint_lines_max, 1u)));
+        out.st_global(pick_src(), pat, loc, region, lines);
+        break;
+      }
+      case Op::kLdShared: {
+        const RegNum dst = pick_dst();
+        const auto offset = static_cast<std::uint32_t>(rng.next_below(smem));
+        out.ld_shared(dst, offset);
+        break;
+      }
+      case Op::kStShared: {
+        const RegNum src = pick_src();
+        const auto offset = static_cast<std::uint32_t>(rng.next_below(smem));
+        out.st_shared(src, offset);
+        break;
+      }
+      case Op::kBarrier:
+        out.barrier();
+        break;
+      case Op::kExit:
+        break;  // appended by build()
+    }
+  };
+
+  const std::uint32_t n_segments = range(std::max(p.segments_min, 1u), p.segments_max);
+  std::uint64_t budget = std::max<std::uint32_t>(p.max_dynamic_length, 16);
+  for (std::uint32_t seg = 0; seg < n_segments; ++seg) {
+    const std::uint32_t body = std::max(range(p.body_min, p.body_max), 1u);
+    const std::uint64_t iters_cap =
+        std::min<std::uint64_t>(std::max<std::uint32_t>(p.iters_max, 1),
+                                std::max<std::uint64_t>(budget / body, 1));
+    const auto iters = static_cast<std::uint32_t>(1 + rng.next_below(iters_cap));
+    b.loop(iters, [&](ProgramBuilder& l) {
+      for (std::uint32_t k = 0; k < body; ++k) {
+        // The very first instruction introduces a register, so later source
+        // picks always have something real to read.
+        const Op op = (seg == 0 && k == 0) ? Op::kAlu : menu.pick(rng);
+        emit(l, op);
+      }
+    });
+    budget -= std::min<std::uint64_t>(budget, static_cast<std::uint64_t>(body) * iters);
+  }
+
+  KernelInfo k;
+  k.name = "gen-" + p.name + "-" + std::to_string(seed);
+  k.suite = "generated";
+  k.set = "gen";
+  k.resources = KernelResources{threads, regs, smem};
+  k.grid_blocks = range(std::max(p.grid_min, 1u), p.grid_max);
+  k.active_lanes = pick_u32(p.lane_choices, 32);
+  k.program = b.build();
+  k.validate();
+  // Aborting here would be a generator bug, not bad input: the clamps above
+  // guarantee at least one resident block under the default config.
+  (void)compute_occupancy(caps, k.resources);
+  return k;
+}
+
+}  // namespace grs::workloads::gen

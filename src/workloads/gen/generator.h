@@ -1,0 +1,23 @@
+// Deterministic seeded kernel generator.
+//
+// generate(profile, seed) samples a complete KernelInfo from the profile's
+// ranges using only common/prng.h streams: the same (profile, seed) pair
+// produces the same kernel on every platform and build. Every generated
+// kernel passes KernelInfo::validate() and fits the default GpuConfig
+// (paper Table I) with at least one resident block, so callers can hand it
+// straight to simulate() — which is what the grs_fuzz differential harness
+// does at scale.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/gen/profile.h"
+#include "workloads/kernel_info.h"
+
+namespace grs::workloads::gen {
+
+/// Generated kernels are named "gen-<profile>-<seed>" with suite "generated"
+/// and set "gen".
+[[nodiscard]] KernelInfo generate(const GenProfile& profile, std::uint64_t seed);
+
+}  // namespace grs::workloads::gen

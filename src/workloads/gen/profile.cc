@@ -1,0 +1,178 @@
+#include "workloads/gen/profile.h"
+
+#include <stdexcept>
+
+namespace grs::workloads::gen {
+
+GenProfile register_limited() {
+  GenProfile p;
+  p.name = "register_limited";
+  p.block_sizes = {128, 192, 256, 512};
+  p.regs_min = 24;
+  p.regs_max = 56;
+  p.smem_min = 0;
+  p.smem_max = 0;
+  p.grid_min = 42;
+  p.grid_max = 112;
+  p.lane_choices = {32, 32, 32, 24};
+  p.segments_min = 2;
+  p.segments_max = 4;
+  p.iters_max = 12;
+  p.body_min = 3;
+  p.body_max = 12;
+  p.max_dynamic_length = 320;
+  p.w_alu = 8;
+  p.w_sfu = 1;
+  p.w_ld_global = 2;
+  p.w_st_global = 1;
+  p.dep_window = 6;
+  p.patterns = {MemPattern::kCoalesced, MemPattern::kCoalesced, MemPattern::kStrided2};
+  p.localities = {Locality::kStreaming, Locality::kGridShared, Locality::kBlockLocal,
+                  Locality::kWarpLocal};
+  p.footprint_lines_max = 1536;
+  p.regions_max = 4;
+  return p;
+}
+
+GenProfile scratchpad_limited() {
+  GenProfile p;
+  p.name = "scratchpad_limited";
+  p.block_sizes = {64, 128, 256};
+  p.regs_min = 10;
+  p.regs_max = 18;
+  p.smem_min = 2048;
+  p.smem_max = 8192;
+  p.grid_min = 42;
+  p.grid_max = 112;
+  p.lane_choices = {32};
+  p.segments_min = 2;
+  p.segments_max = 4;
+  p.iters_max = 14;
+  p.body_min = 3;
+  p.body_max = 10;
+  p.max_dynamic_length = 300;
+  p.w_alu = 5;
+  p.w_ld_global = 1;
+  p.w_st_global = 1;
+  p.w_ld_shared = 4;
+  p.w_st_shared = 2;
+  p.w_barrier = 1;
+  p.dep_window = 4;
+  p.patterns = {MemPattern::kCoalesced};
+  p.localities = {Locality::kStreaming, Locality::kGridShared};
+  p.footprint_lines_max = 1024;
+  p.regions_max = 3;
+  return p;
+}
+
+GenProfile balanced() {
+  GenProfile p;
+  p.name = "balanced";
+  p.block_sizes = {64, 128, 256, 384};
+  p.regs_min = 12;
+  p.regs_max = 32;
+  p.smem_min = 0;
+  p.smem_max = 4096;
+  p.grid_min = 28;
+  p.grid_max = 98;
+  p.lane_choices = {32, 32, 24, 16};
+  p.segments_min = 2;
+  p.segments_max = 5;
+  p.iters_max = 10;
+  p.body_min = 2;
+  p.body_max = 10;
+  p.max_dynamic_length = 280;
+  p.w_alu = 6;
+  p.w_sfu = 1;
+  p.w_ld_global = 2;
+  p.w_st_global = 1;
+  p.w_ld_shared = 1;
+  p.w_st_shared = 1;
+  p.w_barrier = 1;
+  p.dep_window = 4;
+  p.patterns = {MemPattern::kCoalesced, MemPattern::kStrided2, MemPattern::kStrided4};
+  p.localities = {Locality::kStreaming, Locality::kWarpLocal, Locality::kBlockLocal,
+                  Locality::kGridShared};
+  p.footprint_lines_max = 2048;
+  p.regions_max = 4;
+  return p;
+}
+
+GenProfile memory_bound() {
+  GenProfile p;
+  p.name = "memory_bound";
+  p.block_sizes = {128, 256, 512};
+  p.regs_min = 10;
+  p.regs_max = 28;
+  p.smem_min = 0;
+  p.smem_max = 0;
+  p.grid_min = 28;
+  p.grid_max = 84;
+  p.lane_choices = {32, 24, 16};
+  p.segments_min = 1;
+  p.segments_max = 3;
+  p.iters_max = 12;
+  p.body_min = 2;
+  p.body_max = 8;
+  p.max_dynamic_length = 220;
+  p.w_alu = 2;
+  p.w_ld_global = 5;
+  p.w_st_global = 2;
+  p.dep_window = 3;
+  p.patterns = {MemPattern::kStrided2, MemPattern::kStrided4, MemPattern::kScatter8,
+                MemPattern::kScatter32};
+  p.localities = {Locality::kStreaming, Locality::kRandom, Locality::kRandom,
+                  Locality::kGridShared};
+  p.footprint_lines_max = 12288;  ///< 2x the 768KB L2 in 128B lines
+  p.regions_max = 6;
+  return p;
+}
+
+GenProfile adversarial() {
+  GenProfile p;
+  p.name = "adversarial";
+  p.block_sizes = {16, 48, 96, 224, 508};
+  p.regs_min = 2;
+  p.regs_max = 64;
+  p.smem_min = 0;
+  p.smem_max = 16384;
+  p.grid_min = 14;
+  p.grid_max = 70;
+  p.lane_choices = {1, 7, 16, 32};
+  p.segments_min = 1;
+  p.segments_max = 6;
+  p.iters_max = 24;
+  p.body_min = 1;
+  p.body_max = 14;
+  p.max_dynamic_length = 360;
+  p.w_alu = 3;
+  p.w_sfu = 2;
+  p.w_ld_global = 2;
+  p.w_st_global = 2;
+  p.w_ld_shared = 2;
+  p.w_st_shared = 2;
+  p.w_barrier = 2;
+  p.dep_window = 1;
+  p.patterns = {MemPattern::kCoalesced, MemPattern::kScatter8, MemPattern::kScatter32};
+  p.localities = {Locality::kStreaming, Locality::kWarpLocal, Locality::kBlockLocal,
+                  Locality::kGridShared, Locality::kRandom};
+  p.footprint_lines_max = 12288;
+  p.regions_max = 255;
+  return p;
+}
+
+std::vector<GenProfile> all_profiles() {
+  return {register_limited(), scratchpad_limited(), balanced(), memory_bound(), adversarial()};
+}
+
+GenProfile profile_by_name(const std::string& name) {
+  std::string valid;
+  for (const GenProfile& p : all_profiles()) {
+    if (p.name == name) return p;
+    if (!valid.empty()) valid += ' ';
+    valid += p.name;
+  }
+  throw std::runtime_error("unknown generator profile '" + name + "' (valid: " + valid + ")");
+}
+
+}  // namespace grs::workloads::gen

@@ -1,0 +1,77 @@
+// Composable sampling profiles for the seeded kernel generator.
+//
+// A GenProfile bounds every dimension the generator (gen/generator.h)
+// samples: resource demand (block size, registers/thread, scratchpad/block,
+// grid), divergence, program shape (segment count, loop trip counts, body
+// sizes, total dynamic-length budget), instruction-mix weights, dependency
+// depth, and the global-memory stride/locality menu. The five built-in
+// profiles mirror the paper's workload classes — register-limited (Table II),
+// scratchpad-limited (Table III), balanced, memory-bound — plus an
+// adversarial corner-case hunter for the differential fuzzer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.h"
+
+namespace grs::workloads::gen {
+
+struct GenProfile {
+  std::string name;
+
+  // --- resource demand ----------------------------------------------------
+  std::vector<std::uint32_t> block_sizes;      ///< threads-per-block choices
+  std::uint32_t regs_min = 8, regs_max = 32;   ///< registers per thread
+  std::uint32_t smem_min = 0, smem_max = 0;    ///< scratchpad bytes per block
+  std::uint32_t grid_min = 28, grid_max = 84;  ///< blocks in the grid
+  std::vector<std::uint32_t> lane_choices;     ///< active lanes per warp (divergence)
+
+  // --- program shape ------------------------------------------------------
+  std::uint32_t segments_min = 2, segments_max = 4;
+  std::uint32_t iters_max = 16;               ///< loop segments run 1..iters_max times
+  std::uint32_t body_min = 2, body_max = 10;  ///< instructions per segment body
+  std::uint32_t max_dynamic_length = 320;     ///< per-warp dynamic instruction budget
+
+  // --- instruction mix (relative weights) ----------------------------------
+  std::uint32_t w_alu = 6, w_sfu = 0;
+  std::uint32_t w_ld_global = 2, w_st_global = 1;
+  std::uint32_t w_ld_shared = 0, w_st_shared = 0;
+  std::uint32_t w_barrier = 0;
+
+  /// How far back (in first-use register order) a source operand may reach:
+  /// 1 yields serial dependency chains, large windows yield ILP.
+  std::uint32_t dep_window = 4;
+
+  // --- global-memory behaviour ---------------------------------------------
+  std::vector<MemPattern> patterns{MemPattern::kCoalesced};
+  std::vector<Locality> localities{Locality::kStreaming};
+  std::uint32_t footprint_lines_max = 2048;  ///< region footprints drawn from [1, max]
+  std::uint32_t regions_max = 4;             ///< address regions drawn from [1, max]
+};
+
+/// High register pressure, barely any scratchpad: paper Set-1 territory.
+[[nodiscard]] GenProfile register_limited();
+
+/// Scratchpad tiles with barrier phases: paper Set-2 territory.
+[[nodiscard]] GenProfile scratchpad_limited();
+
+/// Moderate everything; the default exploration profile.
+[[nodiscard]] GenProfile balanced();
+
+/// Scattered, poorly-cached global traffic that stresses the memory system
+/// and the event loop's idle-window logic.
+[[nodiscard]] GenProfile memory_bound();
+
+/// Deliberately nasty corners: odd block sizes, deep serial chains, dense
+/// barriers, full-scatter accesses, single-lane divergence.
+[[nodiscard]] GenProfile adversarial();
+
+/// All built-in profiles, in a fixed order.
+[[nodiscard]] std::vector<GenProfile> all_profiles();
+
+/// Lookup by name; throws std::runtime_error listing the valid names.
+[[nodiscard]] GenProfile profile_by_name(const std::string& name);
+
+}  // namespace grs::workloads::gen

@@ -526,12 +526,20 @@ std::vector<KernelInfo> set3() {
   return {backprop_layerforward(), bfs(), gaussian(), nn()};
 }
 
-KernelInfo by_name(const std::string& name) {
+std::optional<KernelInfo> find_by_name(const std::string& name) {
   for (auto set_fn : {set1, set2, set3}) {
     for (auto& k : set_fn()) {
-      if (k.name == name) return k;
+      if (k.name == name) return std::move(k);
     }
   }
+  return std::nullopt;
+}
+
+KernelInfo by_name(const std::string& name) {
+  if (auto k = find_by_name(name)) return *std::move(k);
+  std::fprintf(stderr, "unknown kernel '%s'; valid names:", name.c_str());
+  for (const auto& n : all_names()) std::fprintf(stderr, " %s", n.c_str());
+  std::fprintf(stderr, "\n");
   GRS_CHECK_MSG(false, "unknown kernel name");
   return {};
 }

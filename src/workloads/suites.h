@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "workloads/kernel_info.h"
@@ -50,8 +51,11 @@ namespace grs::workloads {
 [[nodiscard]] std::vector<KernelInfo> set3();
 
 /// Lookup by the paper's display name (e.g. "hotspot", "CONV1"); aborts on
-/// unknown names.
+/// unknown names after printing the offending name and the valid-name list.
 [[nodiscard]] KernelInfo by_name(const std::string& name);
+
+/// Non-aborting lookup: std::nullopt when `name` is not a built-in kernel.
+[[nodiscard]] std::optional<KernelInfo> find_by_name(const std::string& name);
 
 /// Every kernel name across all sets.
 [[nodiscard]] std::vector<std::string> all_names();

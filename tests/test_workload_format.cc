@@ -1,0 +1,266 @@
+// .gkd workload format: byte-identical round-trips for every built-in
+// kernel, and positioned (line:column) errors — never aborts — for every
+// class of malformed input.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workloads/format/gkd.h"
+#include "workloads/suites.h"
+
+namespace grs {
+namespace {
+
+using workloads::gkd::ParseError;
+using workloads::gkd::parse;
+using workloads::gkd::serialize;
+
+/// A minimal valid document the error tests mutate. Line numbers:
+///   1 gkd 1          4 regs 8         7 segment x2 {
+///   2 kernel "k"     5 smem 256       8   alu $r0
+///   3 threads 64     6 grid 4         9   ld.shared $r1, smem[128]
+///                                    10 }
+///                                    11 segment x1 {
+///                                    12   exit
+///                                    13 }
+std::string minimal() {
+  return
+      "gkd 1\n"
+      "kernel \"k\"\n"
+      "threads 64\n"
+      "regs 8\n"
+      "smem 256\n"
+      "grid 4\n"
+      "segment x2 {\n"
+      "  alu $r0\n"
+      "  ld.shared $r1, smem[128]\n"
+      "}\n"
+      "segment x1 {\n"
+      "  exit\n"
+      "}\n";
+}
+
+/// Parse and return the error; fails the test if parsing succeeds.
+ParseError expect_error(const std::string& text) {
+  try {
+    (void)parse(text, "doc.gkd");
+  } catch (const ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected a ParseError, document parsed fine";
+  return ParseError("", 0, 0, "");
+}
+
+TEST(GkdRoundTrip, All19BuiltInsByteIdentical) {
+  for (const auto& name : workloads::all_names()) {
+    const KernelInfo k = workloads::by_name(name);
+    const std::string text = serialize(k);
+    const KernelInfo reloaded = parse(text, name);
+    EXPECT_EQ(serialize(reloaded), text) << name;
+  }
+}
+
+TEST(GkdRoundTrip, ReloadedKernelsMatchFieldwise) {
+  for (const auto& name : workloads::all_names()) {
+    const KernelInfo k = workloads::by_name(name);
+    const KernelInfo r = parse(serialize(k));
+    EXPECT_EQ(r.name, k.name);
+    EXPECT_EQ(r.suite, k.suite);
+    EXPECT_EQ(r.set, k.set);
+    EXPECT_EQ(r.resources.threads_per_block, k.resources.threads_per_block);
+    EXPECT_EQ(r.resources.regs_per_thread, k.resources.regs_per_thread);
+    EXPECT_EQ(r.resources.smem_per_block, k.resources.smem_per_block);
+    EXPECT_EQ(r.grid_blocks, k.grid_blocks);
+    EXPECT_EQ(r.active_lanes, k.active_lanes);
+    EXPECT_EQ(r.program.segments().size(), k.program.segments().size());
+    EXPECT_EQ(r.program.dynamic_length(), k.program.dynamic_length());
+    EXPECT_EQ(r.program.to_text(), k.program.to_text()) << name;
+  }
+}
+
+TEST(GkdRoundTrip, MinimalDocumentParsesAndValidates) {
+  const KernelInfo k = parse(minimal());
+  k.validate();
+  EXPECT_EQ(k.name, "k");
+  EXPECT_EQ(k.resources.threads_per_block, 64u);
+  EXPECT_EQ(k.active_lanes, 32u) << "lanes defaults to 32";
+  EXPECT_EQ(k.suite, "") << "suite defaults to empty";
+  EXPECT_EQ(k.program.segments().size(), 2u);
+  EXPECT_EQ(k.program.segments()[0].iterations, 2u);
+}
+
+TEST(GkdLoader, AcceptsCommentsAndFlexibleWhitespace) {
+  const std::string text =
+      "# a comment\n"
+      "gkd 1\n"
+      "kernel \"spaced out\"   # trailing comment\n"
+      "\n"
+      "threads    64\n"
+      "regs 8\n"
+      "grid 4\n"
+      "segment x1 {\n"
+      "    alu   $r0 ,  $r0\n"
+      "  exit\n"
+      "}\n";
+  const KernelInfo k = parse(text);
+  EXPECT_EQ(k.name, "spaced out");
+  EXPECT_EQ(k.program.static_length(), 2u);
+}
+
+TEST(GkdLoader, BadOpcodeReportsLineAndColumn) {
+  std::string text = minimal();
+  const std::size_t at = text.find("alu $r0");
+  text.replace(at, 3, "axu");
+  const ParseError e = expect_error(text);
+  EXPECT_EQ(e.line(), 8);
+  EXPECT_EQ(e.col(), 3);
+  EXPECT_NE(std::string(e.what()).find("unknown opcode 'axu'"), std::string::npos) << e.what();
+  EXPECT_NE(std::string(e.what()).find("doc.gkd:8:3"), std::string::npos) << e.what();
+}
+
+TEST(GkdLoader, MissingRequiredFieldFails) {
+  std::string text = minimal();
+  text.replace(text.find("threads 64\n"), 11, "");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("missing required header field 'threads'"),
+            std::string::npos)
+      << e.what();
+}
+
+TEST(GkdLoader, RegisterOverflowFails) {
+  std::string text = minimal();
+  text.replace(text.find("$r0"), 3, "$r8");  // regs 8 -> valid numbers are 0..7
+  const ParseError e = expect_error(text);
+  EXPECT_EQ(e.line(), 8);
+  EXPECT_NE(std::string(e.what()).find("register $r8 out of range"), std::string::npos)
+      << e.what();
+}
+
+TEST(GkdLoader, ScratchpadOverflowFails) {
+  std::string text = minimal();
+  text.replace(text.find("smem[128]"), 9, "smem[256]");  // allocation is 256 bytes
+  const ParseError e = expect_error(text);
+  EXPECT_EQ(e.line(), 9);
+  EXPECT_NE(std::string(e.what()).find("outside the 256-byte block allocation"),
+            std::string::npos)
+      << e.what();
+}
+
+TEST(GkdLoader, ScratchpadAccessWithoutAllocationFails) {
+  std::string text = minimal();
+  text.replace(text.find("smem 256\n"), 9, "");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("declares smem 0"), std::string::npos) << e.what();
+}
+
+TEST(GkdLoader, BadMagicFails) {
+  const ParseError e = expect_error("gkb 1\nkernel \"k\"\n");
+  EXPECT_EQ(e.line(), 1);
+  EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos) << e.what();
+}
+
+TEST(GkdLoader, UnsupportedVersionFails) {
+  const ParseError e = expect_error("gkd 2\n");
+  EXPECT_NE(std::string(e.what()).find("unsupported gkd version 2"), std::string::npos)
+      << e.what();
+}
+
+TEST(GkdLoader, DuplicateHeaderFieldFails) {
+  std::string text = minimal();
+  text.insert(text.find("regs 8"), "threads 64\n");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("duplicate header field 'threads'"), std::string::npos)
+      << e.what();
+}
+
+TEST(GkdLoader, UnknownHeaderFieldFails) {
+  std::string text = minimal();
+  text.insert(text.find("segment"), "blocksize 7\n");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("unknown header field 'blocksize'"), std::string::npos)
+      << e.what();
+}
+
+TEST(GkdLoader, GarbageNumberFails) {
+  std::string text = minimal();
+  text.replace(text.find("grid 4"), 6, "grid 4x");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("expected a number"), std::string::npos) << e.what();
+}
+
+TEST(GkdLoader, ZeroIterationSegmentFails) {
+  std::string text = minimal();
+  text.replace(text.find("segment x2"), 10, "segment x0");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("iteration count"), std::string::npos) << e.what();
+}
+
+TEST(GkdLoader, MissingExitFails) {
+  std::string text = minimal();
+  text.replace(text.find("  exit\n"), 7, "  alu $r0\n");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("must end with an 'exit'"), std::string::npos)
+      << e.what();
+}
+
+TEST(GkdLoader, ExitNotLastFails) {
+  std::string text = minimal();
+  text.insert(text.find("  alu $r0"), "  exit\n");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("exit"), std::string::npos) << e.what();
+}
+
+TEST(GkdLoader, LoopedExitSegmentFails) {
+  std::string text = minimal();
+  text.replace(text.rfind("segment x1"), 10, "segment x3");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("exactly once"), std::string::npos) << e.what();
+}
+
+TEST(GkdLoader, EmptySegmentFails) {
+  std::string text = minimal();
+  const std::string body = "  alu $r0\n  ld.shared $r1, smem[128]\n";
+  text.replace(text.find(body), body.size(), "");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("empty segment"), std::string::npos) << e.what();
+}
+
+TEST(GkdLoader, UnterminatedSegmentFails) {
+  std::string text = minimal();
+  text.resize(text.rfind("}\n"));
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("missing '}'"), std::string::npos) << e.what();
+}
+
+TEST(GkdLoader, BadMemPatternFails) {
+  const std::string text =
+      "gkd 1\nkernel \"k\"\nthreads 64\nregs 8\ngrid 4\n"
+      "segment x1 {\n"
+      "  ld.global $r0, coalessed streaming region=1 lines=4\n"
+      "  exit\n"
+      "}\n";
+  const ParseError e = expect_error(text);
+  EXPECT_EQ(e.line(), 7);
+  EXPECT_NE(std::string(e.what()).find("unknown memory pattern 'coalessed'"), std::string::npos)
+      << e.what();
+}
+
+TEST(GkdLoader, LanesOutOfRangeFails) {
+  std::string text = minimal();
+  text.insert(text.find("segment"), "lanes 33\n");
+  const ParseError e = expect_error(text);
+  EXPECT_NE(std::string(e.what()).find("lanes must be in [1, 32]"), std::string::npos)
+      << e.what();
+}
+
+TEST(GkdLoader, FileHelpersRoundTrip) {
+  const KernelInfo k = workloads::by_name("sgemm");
+  const std::string path = ::testing::TempDir() + "/sgemm_roundtrip.gkd";
+  workloads::gkd::dump_file(k, path);
+  const KernelInfo r = workloads::gkd::load_file(path);
+  EXPECT_EQ(serialize(r), serialize(k));
+  EXPECT_THROW((void)workloads::gkd::load_file(path + ".does-not-exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace grs
