@@ -5,11 +5,19 @@
 //           [--unroll] [--dyn] [--grid N] [--compare]
 //
 //   --kernel SPEC     a built-in kernel name (default hotspot), a .gkd file
-//                     path, or gen:<profile>:<seed> (see src/runner/kernel_source.h)
+//                     path, gen:<profile>:<seed>, or trace:<file>
+//                     (see src/runner/kernel_source.h)
 //   --load FILE       load the kernel from a .gkd file (always treated as a
 //                     file path, whatever it is named)
 //   --gen SEED        generate the kernel from a seed (workloads/gen)
 //   --profile NAME    generator profile for --gen (default balanced)
+//   --import-trace F  import an address trace (pc,tid,addr,size CSV or a
+//                     memory log; see src/workloads/trace/trace_reader.h)
+//                     into a histogram-profiled kernel; combine with --dump
+//                     to save it as .gkd
+//   --validate FILE   lint FILE as .gkd against the configured GPU without
+//                     simulating; prints file:line diagnostics and exits 2
+//                     when anything is wrong
 //   --dump FILE       write the resolved kernel as .gkd to FILE and exit
 //   --share RES       registers | scratchpad | none        (default none)
 //   --t X             sharing threshold in [0.001, 1]      (default 0.1)
@@ -32,6 +40,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "common/parse.h"
@@ -42,6 +51,8 @@
 #include "workloads/format/gkd.h"
 #include "workloads/gen/generator.h"
 #include "workloads/suites.h"
+#include "workloads/trace/import.h"
+#include "workloads/validate.h"
 
 using namespace grs;
 
@@ -97,7 +108,8 @@ int main(int argc, char** argv) {
   SchedulerKind sched = SchedulerKind::kLrr;
   ExecMode exec_mode = ExecMode::kEvent;
   bool unroll = false, dyn = false, compare = false, sweep = false;
-  bool kernel_set = false, load_set = false, gen_set = false;
+  bool kernel_set = false, load_set = false, gen_set = false, trace_set = false;
+  std::string validate_file;
   std::uint64_t gen_seed = 0;
   std::uint32_t grid = 0;
   unsigned threads = 0;
@@ -120,6 +132,11 @@ int main(int argc, char** argv) {
     } else if (a == "--profile") {
       profile_name = next();
       profile_set = true;
+    } else if (a == "--import-trace") {
+      kernel_spec = next();
+      trace_set = true;
+    } else if (a == "--validate") {
+      validate_file = next();
     } else if (a == "--dump") {
       dump_file = next();
     } else if (a == "--share") {
@@ -156,9 +173,43 @@ int main(int argc, char** argv) {
       usage("unknown flag " + a);
     }
   }
-  if (static_cast<int>(kernel_set) + static_cast<int>(load_set) + static_cast<int>(gen_set) > 1)
-    usage("--kernel, --load and --gen are mutually exclusive");
+  if (static_cast<int>(kernel_set) + static_cast<int>(load_set) + static_cast<int>(gen_set) +
+          static_cast<int>(trace_set) >
+      1)
+    usage("--kernel, --load, --gen and --import-trace are mutually exclusive");
   if (profile_set && !gen_set) usage("--profile only applies together with --gen");
+
+  GpuConfig cfg = configs::unshared(sched);
+  cfg.exec_mode = exec_mode;
+  if (share != "none") {
+    cfg.sharing.enabled = true;
+    cfg.sharing.resource =
+        share == "scratchpad" ? Resource::kScratchpad : Resource::kRegisters;
+    if (share != "registers" && share != "scratchpad") usage("bad --share");
+    cfg.sharing.threshold_t = t;
+    cfg.sharing.unroll_registers = unroll;
+    cfg.sharing.dynamic_warp_execution = dyn;
+    cfg.sharing.owf = sched == SchedulerKind::kOwf;
+  }
+  cfg.validate();
+
+  if (!validate_file.empty()) {
+    if (kernel_set || load_set || gen_set || trace_set || sweep || compare ||
+        !dump_file.empty()) {
+      usage("--validate lints one file; kernel-selection/--dump/--sweep/--compare "
+            "do not apply");
+    }
+    const std::vector<std::string> diags = workloads::lint_gkd_file(validate_file, cfg);
+    for (const std::string& d : diags) std::fprintf(stderr, "%s\n", d.c_str());
+    if (!diags.empty()) {
+      std::fprintf(stderr, "error: %zu problem(s) in %s\n", diags.size(),
+                   validate_file.c_str());
+      return 2;
+    }
+    std::printf("OK: %s lints clean against %s\n", validate_file.c_str(),
+                cfg.line_label().c_str());
+    return 0;
+  }
 
   KernelInfo kernel;
   try {
@@ -166,6 +217,8 @@ int main(int argc, char** argv) {
       kernel = workloads::gen::generate(workloads::gen::profile_by_name(profile_name), gen_seed);
     } else if (load_set) {
       kernel = workloads::gkd::load_file(kernel_spec);  // always a file, whatever its name
+    } else if (trace_set) {
+      kernel = workloads::trace::import_trace_file(kernel_spec);
     } else {
       kernel = runner::resolve_kernel(kernel_spec);
     }
@@ -187,20 +240,6 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  GpuConfig cfg = configs::unshared(sched);
-  cfg.exec_mode = exec_mode;
-  if (share != "none") {
-    cfg.sharing.enabled = true;
-    cfg.sharing.resource =
-        share == "scratchpad" ? Resource::kScratchpad : Resource::kRegisters;
-    if (share != "registers" && share != "scratchpad") usage("bad --share");
-    cfg.sharing.threshold_t = t;
-    cfg.sharing.unroll_registers = unroll;
-    cfg.sharing.dynamic_warp_execution = dyn;
-    cfg.sharing.owf = sched == SchedulerKind::kOwf;
-  }
-  cfg.validate();
-
   // A .gkd file can describe a kernel the SM cannot host at all; report that
   // as a clean error here rather than aborting inside compute_occupancy().
   const KernelResources& res = kernel.resources;
@@ -217,8 +256,9 @@ int main(int argc, char** argv) {
   }
 
   if (sweep) {
-    if (kernel_set || load_set || gen_set || grid != 0 || compare)
-      usage("--sweep runs every kernel; --kernel/--load/--gen/--grid/--compare do not apply");
+    if (kernel_set || load_set || gen_set || trace_set || grid != 0 || compare)
+      usage("--sweep runs every kernel; "
+            "--kernel/--load/--gen/--import-trace/--grid/--compare do not apply");
     runner::SweepSpec spec;
     for (const auto& name : workloads::all_names())
       spec.add(cfg.line_label(), cfg, workloads::by_name(name));

@@ -1,0 +1,22 @@
+// Tiny file I/O helpers shared by every loader-style entry point.
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace grs {
+
+/// The whole of `path` as a string, or nullopt when it cannot be opened.
+/// Callers own the error policy (throw, diagnostic, ...) — which is why this
+/// does not throw itself.
+[[nodiscard]] inline std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+}  // namespace grs

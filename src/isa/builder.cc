@@ -43,7 +43,8 @@ ProgramBuilder& ProgramBuilder::sfu(RegNum dst, RegNum src0, RegNum src1) {
 
 ProgramBuilder& ProgramBuilder::ld_global(RegNum dst, MemPattern pattern, Locality locality,
                                           std::uint8_t region, std::uint32_t footprint_lines,
-                                          RegNum addr_reg) {
+                                          RegNum addr_reg,
+                                          std::shared_ptr<const MemProfile> profile) {
   Instruction i;
   i.op = Op::kLdGlobal;
   i.dst = dst;
@@ -52,13 +53,15 @@ ProgramBuilder& ProgramBuilder::ld_global(RegNum dst, MemPattern pattern, Locali
   i.locality = locality;
   i.region = region;
   i.footprint_lines = footprint_lines;
+  i.profile = std::move(profile);
   emit(i);
   return *this;
 }
 
 ProgramBuilder& ProgramBuilder::st_global(RegNum data_reg, MemPattern pattern,
                                           Locality locality, std::uint8_t region,
-                                          std::uint32_t footprint_lines) {
+                                          std::uint32_t footprint_lines,
+                                          std::shared_ptr<const MemProfile> profile) {
   Instruction i;
   i.op = Op::kStGlobal;
   i.src0 = data_reg;
@@ -66,6 +69,7 @@ ProgramBuilder& ProgramBuilder::st_global(RegNum data_reg, MemPattern pattern,
   i.locality = locality;
   i.region = region;
   i.footprint_lines = footprint_lines;
+  i.profile = std::move(profile);
   emit(i);
   return *this;
 }

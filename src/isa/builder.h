@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "isa/program.h"
@@ -27,9 +28,11 @@ class ProgramBuilder {
   ProgramBuilder& sfu(RegNum dst, RegNum src0 = kNoReg, RegNum src1 = kNoReg);
   ProgramBuilder& ld_global(RegNum dst, MemPattern pattern, Locality locality,
                             std::uint8_t region, std::uint32_t footprint_lines,
-                            RegNum addr_reg = kNoReg);
+                            RegNum addr_reg = kNoReg,
+                            std::shared_ptr<const MemProfile> profile = nullptr);
   ProgramBuilder& st_global(RegNum data_reg, MemPattern pattern, Locality locality,
-                            std::uint8_t region, std::uint32_t footprint_lines);
+                            std::uint8_t region, std::uint32_t footprint_lines,
+                            std::shared_ptr<const MemProfile> profile = nullptr);
   ProgramBuilder& ld_shared(RegNum dst, std::uint32_t smem_offset);
   ProgramBuilder& st_shared(RegNum data_reg, std::uint32_t smem_offset);
   ProgramBuilder& barrier();

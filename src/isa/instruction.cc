@@ -17,6 +17,15 @@ RegNum Instruction::max_reg() const {
   return m;
 }
 
+std::uint32_t Instruction::max_transactions() const {
+  if (profile && !profile->coalesce.empty()) {
+    // Canonical histograms are sorted by value; the last bucket is the max.
+    const std::int64_t top = profile->coalesce.back().value;
+    return static_cast<std::uint32_t>(std::clamp<std::int64_t>(top, 1, 32));
+  }
+  return transactions_per_access(pattern);
+}
+
 std::string Instruction::to_text() const {
   char buf[160];
   auto reg = [](RegNum r) -> std::string {

@@ -1,0 +1,128 @@
+#include "isa/mem_profile.h"
+
+#include <algorithm>
+
+namespace grs {
+
+namespace {
+
+/// Cache-line footprints live inside one 64GB region window (coalescer.cc):
+/// 2^29 lines of 128B. Larger footprints would alias neighbouring regions.
+constexpr std::uint64_t kMaxFootprintLines = 1ull << 29;
+
+void canonicalize_hist(std::vector<ProfileBucket>& h) {
+  std::sort(h.begin(), h.end(), [](const ProfileBucket& a, const ProfileBucket& b) {
+    return a.value < b.value;
+  });
+  std::vector<ProfileBucket> out;
+  for (const ProfileBucket& b : h) {
+    if (b.weight == 0) continue;
+    if (!out.empty() && out.back().value == b.value) {
+      out.back().weight += b.weight;
+    } else {
+      out.push_back(b);
+    }
+  }
+  h = std::move(out);
+}
+
+std::string check_hist(const std::vector<ProfileBucket>& h, const char* name) {
+  if (h.empty()) return std::string(name) + " histogram is empty";
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (h[i].weight == 0) return std::string(name) + " histogram has a zero weight";
+    if (i > 0 && h[i - 1].value >= h[i].value) {
+      return std::string(name) + " histogram is not sorted by unique value";
+    }
+  }
+  std::uint64_t total = 0;
+  for (const ProfileBucket& b : h) {
+    if (b.weight > UINT64_MAX - total) return std::string(name) + " weights overflow";
+    total += b.weight;
+  }
+  return "";
+}
+
+std::uint64_t total_weight(const std::vector<ProfileBucket>& h) {
+  std::uint64_t total = 0;
+  for (const ProfileBucket& b : h) total += b.weight;
+  return total;
+}
+
+std::int64_t sample(const std::vector<ProfileBucket>& h, std::uint64_t hash,
+                    std::int64_t fallback) {
+  const std::uint64_t total = total_weight(h);
+  if (total == 0) return fallback;
+  std::uint64_t r = hash % total;
+  for (const ProfileBucket& b : h) {
+    if (r < b.weight) return b.value;
+    r -= b.weight;
+  }
+  return h.back().value;
+}
+
+}  // namespace
+
+void MemProfile::canonicalize() {
+  canonicalize_hist(coalesce);
+  canonicalize_hist(stride);
+  canonicalize_hist(reuse);
+}
+
+std::string MemProfile::check() const {
+  if (std::string e = check_hist(coalesce, "coalesce"); !e.empty()) return e;
+  if (std::string e = check_hist(stride, "stride"); !e.empty()) return e;
+  if (std::string e = check_hist(reuse, "reuse"); !e.empty()) return e;
+  for (const ProfileBucket& b : coalesce) {
+    if (b.value < 1 || b.value > 32) {
+      return "coalesce degree " + std::to_string(b.value) + " outside [1, 32]";
+    }
+  }
+  for (const ProfileBucket& b : reuse) {
+    if (b.value != kColdReuse && b.value < 1) {
+      return "reuse distance " + std::to_string(b.value) + " is neither cold nor >= 1";
+    }
+  }
+  if (footprint_lines < 1 || footprint_lines > kMaxFootprintLines) {
+    return "footprint must be in [1, " + std::to_string(kMaxFootprintLines) + "] lines";
+  }
+  return "";
+}
+
+std::uint32_t MemProfile::sample_coalesce(std::uint64_t h) const {
+  const std::int64_t v = sample(coalesce, h, 1);
+  return static_cast<std::uint32_t>(std::clamp<std::int64_t>(v, 1, 32));
+}
+
+std::int64_t MemProfile::sample_stride(std::uint64_t h) const {
+  return sample(stride, h, 1);
+}
+
+std::int64_t MemProfile::sample_reuse(std::uint64_t h) const {
+  return sample(reuse, h, kColdReuse);
+}
+
+std::int64_t MemProfile::dominant_stride() const {
+  std::int64_t best = 1;
+  std::uint64_t best_w = 0;
+  for (const ProfileBucket& b : stride) {
+    if (b.weight > best_w) {
+      best = b.value;
+      best_w = b.weight;
+    }
+  }
+  return best;
+}
+
+bool operator==(const MemProfile& a, const MemProfile& b) {
+  auto eq = [](const std::vector<ProfileBucket>& x, const std::vector<ProfileBucket>& y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i].value != y[i].value || x[i].weight != y[i].weight) return false;
+    }
+    return true;
+  };
+  return eq(a.coalesce, b.coalesce) && eq(a.stride, b.stride) && eq(a.reuse, b.reuse) &&
+         a.footprint_lines == b.footprint_lines;
+}
+
+}  // namespace grs

@@ -1,0 +1,74 @@
+// Measured memory behaviour of one global-memory instruction.
+//
+// A MemProfile replaces the synthetic MemPattern/Locality labels with
+// per-instruction histograms reduced from a real address trace
+// (workloads/trace): how many 128B lines one warp access touches
+// (coalescing degree), how the warp's access base moves between consecutive
+// dynamic accesses (stride, in lines), how often a line is revisited and at
+// what distance (reuse), and how many distinct lines the instruction touches
+// in total (footprint). The coalescer (memory/coalescer.h) samples addresses
+// from these histograms with counter-based hashing of (warp, access index),
+// so profile-backed address streams are bit-reproducible and identical in
+// both execution modes — time never enters the draws.
+//
+// Histograms are canonical when buckets are sorted by value, values are
+// unique, and every weight is positive; canonicalize() establishes this and
+// check() verifies it, which is what makes the .gkd `profile` section
+// round-trip byte-identically through the serializer/loader.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grs {
+
+/// One histogram bucket: a sampled value with an integer weight (a count).
+struct ProfileBucket {
+  std::int64_t value = 0;
+  std::uint64_t weight = 0;
+};
+
+struct MemProfile {
+  /// Reuse-bucket value meaning "never seen before" (compulsory miss mass).
+  static constexpr std::int64_t kColdReuse = -1;
+
+  /// Distinct cache lines one warp access touches; values in [1, 32].
+  std::vector<ProfileBucket> coalesce;
+
+  /// Line delta between consecutive dynamic accesses of the same warp
+  /// (signed; 0 = the warp re-reads the same place).
+  std::vector<ProfileBucket> stride;
+
+  /// Reuse distance in warp accesses since the line was last touched;
+  /// kColdReuse marks lines never touched before.
+  std::vector<ProfileBucket> reuse;
+
+  /// Total distinct lines the instruction touches (bounds address synthesis).
+  std::uint64_t footprint_lines = 1;
+
+  /// Sort buckets by value and merge duplicates; drop zero weights.
+  void canonicalize();
+
+  /// Empty string when the profile is structurally valid (canonical order,
+  /// positive weights, value ranges); otherwise a human-readable reason.
+  [[nodiscard]] std::string check() const;
+
+  // --- deterministic sampling (h = any well-mixed 64-bit hash) -------------
+  [[nodiscard]] std::uint32_t sample_coalesce(std::uint64_t h) const;
+  [[nodiscard]] std::int64_t sample_stride(std::uint64_t h) const;
+  /// kColdReuse or a positive distance in accesses.
+  [[nodiscard]] std::int64_t sample_reuse(std::uint64_t h) const;
+
+  /// Highest-weight stride bucket (ties: smaller value). The coalescer walks
+  /// the fresh-line position with this and treats other strides as transient
+  /// excursions, keeping addresses a pure function of the access index.
+  [[nodiscard]] std::int64_t dominant_stride() const;
+};
+
+[[nodiscard]] bool operator==(const MemProfile& a, const MemProfile& b);
+[[nodiscard]] inline bool operator!=(const MemProfile& a, const MemProfile& b) {
+  return !(a == b);
+}
+
+}  // namespace grs

@@ -48,6 +48,10 @@ void Program::validate() const {
       for (RegNum r : {i.dst, i.src0, i.src1}) {
         if (r != kNoReg) GRS_CHECK_MSG(r < num_regs_, "register number out of range");
       }
+      if (i.profile) {
+        GRS_CHECK_MSG(is_global_mem(i.op), "memory profile on a non-global-memory op");
+        GRS_CHECK_MSG(i.profile->check().empty(), "invalid memory profile");
+      }
       if (i.op == Op::kExit) ++n_exit;
     }
   }

@@ -71,6 +71,14 @@ class ProgramCursor {
   /// Number of dynamic instructions already consumed.
   [[nodiscard]] std::uint64_t consumed() const { return consumed_; }
 
+  // --- position of the instruction peek() returns ------------------------
+  // Segments run exactly once each (in order), so `iteration()` is also the
+  // number of times that instruction has already executed — the per-static-
+  // instruction dynamic index that profile-backed address sampling keys on.
+  [[nodiscard]] std::size_t segment_index() const { return seg_; }
+  [[nodiscard]] std::uint32_t instr_index() const { return idx_; }
+  [[nodiscard]] std::uint32_t iteration() const { return iter_; }
+
  private:
   void skip_empty(const Program& p);
 

@@ -1,5 +1,7 @@
 #include "memory/coalescer.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/prng.h"
 
@@ -13,6 +15,10 @@ Addr Coalescer::region_base(std::uint8_t region) const {
 void Coalescer::expand(const Instruction& instr, const MemAccessContext& ctx,
                        std::vector<Addr>& out) const {
   GRS_CHECK(is_global_mem(instr.op));
+  if (instr.profile) {
+    expand_profiled(instr, *instr.profile, ctx, out);
+    return;
+  }
   const std::uint32_t txns = transactions_per_access(instr.pattern);
   const Addr base = region_base(instr.region);
   const std::uint64_t fp = instr.footprint_lines == 0 ? 1 : instr.footprint_lines;
@@ -50,6 +56,72 @@ void Coalescer::expand(const Instruction& instr, const MemAccessContext& ctx,
         break;
     }
     out.push_back(base + line_index * line_bytes_);
+  }
+}
+
+// Histogram-backed address synthesis. All draws key off
+// (warp_uid, region, mem_seq, transaction index) through counter-based
+// hashing, never off simulation time, which keeps the address stream — and
+// therefore every downstream statistic — bit-identical between the cycle and
+// event execution loops.
+//
+// Model: the warp's "fresh" position walks the instruction's footprint at the
+// dominant stride, offset by a per-warp phase so warps overlap inside a small
+// footprint the way trace warps do. Non-dominant strides from the histogram
+// perturb each access as transient excursions (keeping the position a closed
+// form of the access index rather than a running sum). Each transaction then
+// either revisits the line the fresh walk produced `d` accesses ago (d drawn
+// from the reuse histogram) or takes the current fresh line when the draw
+// says cold. Wrapping at footprint_lines adds the capacity component of
+// reuse the reuse histogram alone cannot carry.
+void Coalescer::expand_profiled(const Instruction& instr, const MemProfile& p,
+                                const MemAccessContext& ctx, std::vector<Addr>& out) const {
+  // Draw-domain separators so the three histograms never share a hash stream.
+  constexpr std::uint64_t kTxnSalt = 0x74786e73;     // "txns"
+  constexpr std::uint64_t kStrideSalt = 0x73747264;  // "strd"
+  constexpr std::uint64_t kReuseSalt = 0x72657573;   // "reus"
+  constexpr std::uint64_t kPhaseSalt = 0x70686173;   // "phas"
+
+  const Addr base = region_base(instr.region);
+  const std::uint64_t fp = p.footprint_lines == 0 ? 1 : p.footprint_lines;
+  const std::uint64_t key =
+      hash_combine(ctx.warp_uid, hash_combine(ctx.instr_uid, instr.region));
+  // Walk in the instruction's own execution index: histograms were reduced
+  // per static instruction, so this is the counter their strides and reuse
+  // distances are denominated in.
+  const std::uint64_t j = ctx.instr_seq;
+
+  const std::int64_t dominant = p.dominant_stride();
+  const std::uint64_t mag = std::min<std::uint64_t>(
+      std::max<std::uint64_t>(dominant < 0 ? static_cast<std::uint64_t>(-dominant)
+                                           : static_cast<std::uint64_t>(dominant),
+                              1),
+      fp);
+  const std::uint64_t phase = hash_combine(key, kPhaseSalt) % fp;
+
+  auto fresh_line = [&](std::uint64_t seq, std::uint64_t t) -> std::uint64_t {
+    const std::int64_t s =
+        p.sample_stride(hash_combine(key, hash_combine(seq, kStrideSalt)));
+    // Deviation from the dominant walk, bounded to the footprint so the
+    // signed wrap below stays well-defined.
+    const std::int64_t dev =
+        std::clamp<std::int64_t>(s - dominant, -static_cast<std::int64_t>(fp) + 1,
+                                 static_cast<std::int64_t>(fp) - 1);
+    const std::uint64_t walk = (phase + seq * mag + t) % fp;
+    const std::int64_t pos = static_cast<std::int64_t>(walk) + dev;
+    return static_cast<std::uint64_t>(pos % static_cast<std::int64_t>(fp) +
+                                      (pos < 0 ? static_cast<std::int64_t>(fp) : 0)) %
+           fp;
+  };
+
+  const std::uint32_t txns = p.sample_coalesce(hash_combine(key, hash_combine(j, kTxnSalt)));
+  for (std::uint32_t t = 0; t < txns; ++t) {
+    const std::int64_t d =
+        p.sample_reuse(hash_combine(key, hash_combine(j * 33 + t, kReuseSalt)));
+    const bool cold = d == MemProfile::kColdReuse || static_cast<std::uint64_t>(d) > j;
+    const std::uint64_t line = cold ? fresh_line(j, t)
+                                    : fresh_line(j - static_cast<std::uint64_t>(d), t);
+    out.push_back(base + line * line_bytes_);
   }
 }
 

@@ -26,6 +26,15 @@ struct MemAccessContext {
   /// Streaming patterns advance line-sequentially in this counter, which is
   /// what gives a streaming warp its DRAM row-buffer locality.
   std::uint64_t mem_seq = 0;
+  /// Execution index of the *current static instruction* for this warp (its
+  /// loop-iteration count). MemProfile histograms are measured per static
+  /// instruction (trace/reduce.h keys on pc), so profile-backed sampling
+  /// walks in this counter — using mem_seq would stretch a K-instruction
+  /// loop's strides and reuse distances by K.
+  std::uint64_t instr_seq = 0;
+  /// Static identity of the instruction (segment/offset packed), separating
+  /// the draw streams of same-region profiled instructions.
+  std::uint64_t instr_uid = 0;
 };
 
 class Coalescer {
@@ -33,11 +42,19 @@ class Coalescer {
   explicit Coalescer(std::uint32_t line_bytes) : line_bytes_(line_bytes) {}
 
   /// Append the line addresses of every transaction for `instr` to `out`.
-  /// The transaction count is transactions_per_access(instr.pattern).
+  /// With a MemProfile attached, the transaction count and line indices are
+  /// sampled from the instruction's histograms; otherwise the transaction
+  /// count is transactions_per_access(instr.pattern) and addresses follow the
+  /// locality formulas below. Both paths are pure functions of
+  /// (instr, ctx) — no time, no mutable state — so the address stream is
+  /// bit-identical across execution modes.
   void expand(const Instruction& instr, const MemAccessContext& ctx,
               std::vector<Addr>& out) const;
 
  private:
+  void expand_profiled(const Instruction& instr, const MemProfile& p,
+                       const MemAccessContext& ctx, std::vector<Addr>& out) const;
+
   [[nodiscard]] Addr region_base(std::uint8_t region) const;
 
   std::uint32_t line_bytes_;

@@ -7,6 +7,7 @@
 #include "workloads/format/gkd.h"
 #include "workloads/gen/generator.h"
 #include "workloads/suites.h"
+#include "workloads/trace/import.h"
 
 namespace grs::runner {
 
@@ -36,6 +37,13 @@ KernelInfo resolve_kernel(const std::string& spec) {
         workloads::gen::profile_by_name(rest.substr(0, colon));
     return workloads::gen::generate(profile, *seed);
   }
+  if (spec.compare(0, 6, "trace:") == 0) {
+    const std::string path = spec.substr(6);
+    if (path.empty()) {
+      throw std::runtime_error("bad trace spec '" + spec + "': expected trace:<file>");
+    }
+    return workloads::trace::import_trace_file(path);
+  }
   if (has_suffix(spec, ".gkd") || spec.find('/') != std::string::npos) {
     return workloads::gkd::load_file(spec);
   }
@@ -46,7 +54,7 @@ KernelInfo resolve_kernel(const std::string& spec) {
     names += n;
   }
   throw std::runtime_error("unknown kernel '" + spec + "'; valid names: " + names +
-                           " (or a .gkd file path, or gen:<profile>:<seed>)");
+                           " (or a .gkd file path, gen:<profile>:<seed>, or trace:<file>)");
 }
 
 }  // namespace grs::runner

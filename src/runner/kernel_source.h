@@ -1,10 +1,12 @@
 // Kernel ingestion hook for CLI/driver frontends: resolve a kernel argument
 // to a KernelInfo wherever it comes from — a built-in paper kernel, a .gkd
-// file on disk (workloads/format), or the seeded generator (workloads/gen).
+// file on disk (workloads/format), the seeded generator (workloads/gen), or
+// an address trace imported on the fly (workloads/trace).
 //
 //   hotspot               built-in (workloads::by_name)
 //   path/to/kernel.gkd    .gkd file: spec contains '/' or ends in ".gkd"
 //   gen:balanced:42       generator: profile "balanced", seed 42
+//   trace:dump.csv        trace import: pc,tid,addr,size CSV or memory log
 //
 // Errors (unknown names, unreadable/malformed files, bad generator specs)
 // are reported as std::runtime_error with an actionable message — including

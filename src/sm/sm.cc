@@ -294,7 +294,7 @@ bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
         continue;
       }
       if (ins->op == Op::kLdGlobal) {  // stores bypass the MSHR (no-allocate)
-        const std::uint32_t txns = transactions_per_access(ins->pattern);
+        const std::uint32_t txns = ins->max_transactions();
         if (l1_.inflight() + txns > cfg_.l1.mshr_entries) {
           saw_stall = true;
           ++stats_.blocked_mshr;
@@ -338,6 +338,12 @@ void StreamingMultiprocessor::issue(Warp& w, const Instruction& ins, Cycle now) 
   if (needs_smem_lock(b, ins))
     acquire_with_ownership(pairs_[b.pair_id], b.side, /*reg=*/false, 0);
 
+  // Static identity and per-instruction execution index of `ins`, captured
+  // before the cursor moves (profile-backed address sampling keys on them).
+  const std::uint64_t instr_uid =
+      (static_cast<std::uint64_t>(w.cursor.segment_index()) << 32) | w.cursor.instr_index();
+  const std::uint64_t instr_seq = w.cursor.iteration();
+
   w.cursor.advance(*program_);
 
   switch (ins.op) {
@@ -367,7 +373,7 @@ void StreamingMultiprocessor::issue(Warp& w, const Instruction& ins, Cycle now) 
     case Op::kLdGlobal:
     case Op::kStGlobal: {
       ++lsu_port_;
-      do_global_access(w, ins, now);
+      do_global_access(w, ins, now, instr_seq, instr_uid);
       break;
     }
     case Op::kBarrier: {
@@ -383,9 +389,12 @@ void StreamingMultiprocessor::issue(Warp& w, const Instruction& ins, Cycle now) 
   }
 }
 
-void StreamingMultiprocessor::do_global_access(Warp& w, const Instruction& ins, Cycle now) {
+void StreamingMultiprocessor::do_global_access(Warp& w, const Instruction& ins, Cycle now,
+                                               std::uint64_t instr_seq,
+                                               std::uint64_t instr_uid) {
   txns_.clear();
-  const MemAccessContext ctx{w.warp_uid, blocks_[w.block].block_uid, w.mem_seq};
+  const MemAccessContext ctx{w.warp_uid, blocks_[w.block].block_uid, w.mem_seq, instr_seq,
+                             instr_uid};
   ++w.mem_seq;
   coalescer_.expand(ins, ctx, txns_);
 

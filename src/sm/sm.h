@@ -127,7 +127,8 @@ class StreamingMultiprocessor {
   void drain_events(Cycle now);
   bool run_scheduler(std::uint32_t sched_id, Cycle now);
   void issue(Warp& w, const Instruction& ins, Cycle now);
-  void do_global_access(Warp& w, const Instruction& ins, Cycle now);
+  void do_global_access(Warp& w, const Instruction& ins, Cycle now, std::uint64_t instr_seq,
+                        std::uint64_t instr_uid);
   void handle_exit(Warp& w);
   void finish_block(BlockSlot bs);
   void release_barrier_if_complete(ResidentBlock& b);

@@ -32,8 +32,8 @@
 // unused register operand):
 //
 //   alu|sfu   $rD[, $rS0[, $rS1]]
-//   ld.global $rD, PATTERN LOCALITY region=N lines=N [addr=$rA]
-//   st.global $rS, PATTERN LOCALITY region=N lines=N
+//   ld.global $rD, PATTERN LOCALITY region=N lines=N [addr=$rA] [profile {...}]
+//   st.global $rS, PATTERN LOCALITY region=N lines=N [profile {...}]
 //   ld.shared $rD, smem[OFFSET]
 //   st.shared $rS, smem[OFFSET]
 //   bar.sync
@@ -45,6 +45,23 @@
 // KernelInfo::validate() — register numbers below `regs`, scratchpad offsets
 // inside the `smem` allocation, exactly one trailing exit — but reports them
 // as positioned ParseErrors instead of aborting.
+//
+// A global-memory instruction may carry a measured-behaviour `profile` block
+// (isa/mem_profile.h, produced by the trace importer in workloads/trace);
+// when present, the simulator samples addresses from these histograms and
+// the PATTERN/LOCALITY labels become a descriptive fallback:
+//
+//   ld.global $r0, coalesced streaming region=1 lines=512 profile {
+//     coalesce 1:90 2:10          # lines per warp access : weight
+//     stride 1:95 16:5            # line delta between accesses : weight
+//     reuse cold:60 2:25 8:15     # reuse distance in accesses : weight
+//     footprint 4096              # distinct lines touched in total
+//   }
+//
+// All four fields are required; entries are VALUE:WEIGHT with integer
+// weights >= 1, stride values may be negative, and `cold` (no reuse) is only
+// valid in `reuse`. The canonical form the serializer emits sorts every
+// histogram by value (cold first), which keeps round-trips byte-identical.
 #pragma once
 
 #include <stdexcept>

@@ -3,10 +3,11 @@
 // Program::validate()/KernelInfo::validate() would abort on is caught here
 // first and reported as a ParseError with a 1-based line:column.
 #include <fstream>
+#include <memory>
 #include <optional>
-#include <sstream>
 #include <vector>
 
+#include "common/io.h"
 #include "isa/text.h"
 #include "workloads/format/gkd.h"
 
@@ -350,15 +351,20 @@ class Parser {
         const std::uint64_t lines = parse_keyed_number(l, expect_operand("lines=N"), "lines");
         if (lines > UINT32_MAX) fail_at(l, l.toks[pos - 1], "lines is out of range");
         i.footprint_lines = static_cast<std::uint32_t>(lines);
-        if (!done() && *op == Op::kLdGlobal) {
+        if (!done() && *op == Op::kLdGlobal && !cur().quoted &&
+            cur().text.compare(0, 5, "addr=") == 0) {
           const Token& addr = l.toks[pos++];
-          const std::string prefix = "addr=";
-          if (addr.text.compare(0, prefix.size(), prefix) != 0) {
-            fail_at(l, addr, "expected addr=$rN");
-          }
-          const Token reg_tok{addr.text.substr(prefix.size()),
-                              addr.col + static_cast<int>(prefix.size()), false};
+          const Token reg_tok{addr.text.substr(5), addr.col + 5, false};
           i.src0 = parse_reg(l, reg_tok);
+        }
+        if (!done() && !cur().quoted && cur().text == "profile") {
+          const Token& kw = l.toks[pos++];
+          if (done() || cur().quoted || cur().text != "{") {
+            fail(l.number, done() ? last_col(l) : cur().col, "expected '{' after 'profile'");
+          }
+          ++pos;
+          if (!done()) fail_at(l, cur(), "unexpected token after 'profile {'");
+          i.profile = parse_profile_block(l, kw);
         }
         break;
       }
@@ -394,6 +400,99 @@ class Parser {
       exit_is_last_in_seg_ = false;
     }
     return i;
+  }
+
+  /// One `value:weight` histogram entry; `cold` is legal only in `reuse`.
+  ProfileBucket parse_bucket(const TokenLine& l, const Token& t, bool allow_cold) {
+    const std::size_t colon = t.text.find(':');
+    if (t.quoted || colon == std::string::npos || colon == 0 ||
+        colon + 1 >= t.text.size()) {
+      fail_at(l, t, "expected a VALUE:WEIGHT histogram entry, got '" + t.text + "'");
+    }
+    ProfileBucket b;
+    const std::string value = t.text.substr(0, colon);
+    if (value == "cold") {
+      if (!allow_cold) fail_at(l, t, "'cold' is only valid in the reuse histogram");
+      b.value = MemProfile::kColdReuse;
+    } else {
+      const bool neg = value[0] == '-';
+      const Token digits{value.substr(neg ? 1 : 0), t.col + (neg ? 1 : 0), false};
+      const std::uint64_t v = parse_number(l, digits, "histogram value");
+      if (v > static_cast<std::uint64_t>(INT64_MAX)) {
+        fail_at(l, t, "histogram value is out of range");
+      }
+      b.value = neg ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+    }
+    const Token weight{t.text.substr(colon + 1), t.col + static_cast<int>(colon) + 1, false};
+    b.weight = parse_number(l, weight, "histogram weight");
+    if (b.weight == 0) fail_at(l, weight, "histogram weight must be >= 1");
+    return b;
+  }
+
+  void parse_profile_hist(const TokenLine& l, std::vector<ProfileBucket>& out, bool& seen,
+                          bool allow_cold) {
+    if (seen) fail_at(l, l.toks[0], "duplicate profile field '" + l.toks[0].text + "'");
+    seen = true;
+    if (l.toks.size() < 2) {
+      fail(l.number, last_col(l), "'" + l.toks[0].text + "' expects VALUE:WEIGHT entries");
+    }
+    for (std::size_t k = 1; k < l.toks.size(); ++k) {
+      out.push_back(parse_bucket(l, l.toks[k], allow_cold));
+    }
+  }
+
+  /// The multi-line `profile { ... }` block opened on `head`; consumes lines
+  /// up to its closing '}' and leaves cursor_ on that line (the segment loop
+  /// steps past it).
+  std::shared_ptr<const MemProfile> parse_profile_block(const TokenLine& head,
+                                                        const Token& kw) {
+    MemProfile p;
+    bool coalesce = false, stride = false, reuse = false, footprint = false;
+    ++cursor_;
+    bool closed = false;
+    while (cursor_ < lines_.size()) {
+      const TokenLine& l = lines_[cursor_];
+      const Token& key = l.toks[0];
+      if (!key.quoted && key.text == "}") {
+        if (l.toks.size() != 1) fail_at(l, l.toks[1], "unexpected token after '}'");
+        closed = true;
+        break;
+      }
+      if (key.quoted) fail_at(l, key, "expected a profile field or '}'");
+      if (key.text == "coalesce") {
+        parse_profile_hist(l, p.coalesce, coalesce, false);
+      } else if (key.text == "stride") {
+        parse_profile_hist(l, p.stride, stride, false);
+      } else if (key.text == "reuse") {
+        parse_profile_hist(l, p.reuse, reuse, true);
+      } else if (key.text == "footprint") {
+        if (footprint) fail_at(l, key, "duplicate profile field 'footprint'");
+        footprint = true;
+        if (l.toks.size() != 2) fail_at(l, key, "'footprint' expects one number");
+        p.footprint_lines = parse_number(l, l.toks[1], "footprint");
+      } else {
+        fail_at(l, key,
+                "unknown profile field '" + key.text +
+                    "' (valid: coalesce stride reuse footprint)");
+      }
+      ++cursor_;
+    }
+    if (!closed) fail(end_line_, 1, "unterminated profile block (missing '}')");
+    auto require = [&](bool seen, const char* field) {
+      if (!seen) {
+        fail(lines_[cursor_].number, lines_[cursor_].toks[0].col,
+             std::string("profile block is missing the '") + field + "' field");
+      }
+    };
+    require(coalesce, "coalesce");
+    require(stride, "stride");
+    require(reuse, "reuse");
+    require(footprint, "footprint");
+    p.canonicalize();
+    if (const std::string e = p.check(); !e.empty()) {
+      fail_at(head, kw, "invalid profile: " + e);
+    }
+    return std::make_shared<const MemProfile>(std::move(p));
   }
 
   std::uint64_t parse_keyed_number(const TokenLine& l, const Token& t, const std::string& key) {
@@ -466,11 +565,9 @@ KernelInfo parse(const std::string& text, const std::string& filename) {
 }
 
 KernelInfo load_file(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("cannot open " + path);
-  std::ostringstream buf;
-  buf << f.rdbuf();
-  return parse(buf.str(), path);
+  const std::optional<std::string> text = read_file(path);
+  if (!text.has_value()) throw std::runtime_error("cannot open " + path);
+  return parse(*text, path);
 }
 
 void dump_file(const KernelInfo& k, const std::string& path) {

@@ -29,6 +29,32 @@ std::string global_mem_suffix(const Instruction& i) {
   return out;
 }
 
+/// `is_reuse` maps the kColdReuse sentinel to "cold"; stride histograms keep
+/// plain -1 (a backwards unit stride).
+std::string bucket_entries(const std::vector<ProfileBucket>& h, bool is_reuse) {
+  std::string out;
+  for (const ProfileBucket& b : h) {
+    out += ' ';
+    out += is_reuse && b.value == MemProfile::kColdReuse ? std::string("cold")
+                                                         : std::to_string(b.value);
+    out += ':' + std::to_string(b.weight);
+  }
+  return out;
+}
+
+/// The `profile { ... }` block trailing a global-memory instruction line.
+/// Field order and bucket order (canonical: sorted by value) are fixed so
+/// serialize -> parse -> serialize stays byte-identical.
+std::string profile_block(const MemProfile& p) {
+  std::string out = " profile {\n";
+  out += "    coalesce" + bucket_entries(p.coalesce, false) + "\n";
+  out += "    stride" + bucket_entries(p.stride, false) + "\n";
+  out += "    reuse" + bucket_entries(p.reuse, true) + "\n";
+  out += "    footprint " + std::to_string(p.footprint_lines) + "\n";
+  out += "  }";
+  return out;
+}
+
 std::string instr_text(const Instruction& i) {
   const std::string op = to_string(i.op);
   switch (i.op) {
@@ -50,10 +76,14 @@ std::string instr_text(const Instruction& i) {
     case Op::kLdGlobal: {
       std::string out = op + " " + reg_text(i.dst) + ", " + global_mem_suffix(i);
       if (i.src0 != kNoReg) out += " addr=" + reg_text(i.src0);
+      if (i.profile) out += profile_block(*i.profile);
       return out;
     }
-    case Op::kStGlobal:
-      return op + " " + reg_text(i.src0) + ", " + global_mem_suffix(i);
+    case Op::kStGlobal: {
+      std::string out = op + " " + reg_text(i.src0) + ", " + global_mem_suffix(i);
+      if (i.profile) out += profile_block(*i.profile);
+      return out;
+    }
     case Op::kLdShared:
       return op + " " + reg_text(i.dst) + ", smem[" + std::to_string(i.smem_offset) + "]";
     case Op::kStShared:

@@ -1,6 +1,8 @@
 #include "workloads/gen/generator.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/config.h"
 #include "common/prng.h"
@@ -101,6 +103,39 @@ KernelInfo generate(const GenProfile& p, std::uint64_t seed) {
     return p.localities.empty() ? Locality::kStreaming
                                 : p.localities[rng.next_below(p.localities.size())];
   };
+  // Synthesized measured-behaviour histograms (isa/mem_profile.h). Guarded by
+  // profile_percent so profiles with the default 0 draw exactly the streams
+  // they always did — their (profile, seed) -> kernel mapping is unchanged.
+  auto pick_mem_profile = [&]() -> std::shared_ptr<const MemProfile> {
+    if (p.profile_percent == 0 || rng.next_below(100) >= p.profile_percent) return nullptr;
+    MemProfile mp;
+    const std::uint32_t degree_menu[] = {1, 2, 4, 8, 16, 32};
+    const std::int64_t stride_menu[] = {-8, -1, 0, 1, 2, 4, 16, 64};
+    const std::int64_t reuse_menu[] = {1, 2, 4, 8, 32, 128};
+    const std::uint32_t n_coal = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+    for (std::uint32_t k = 0; k < n_coal; ++k) {
+      const std::int64_t value = degree_menu[rng.next_below(6)];
+      const std::uint64_t weight = 1 + rng.next_below(99);
+      mp.coalesce.push_back({value, weight});
+    }
+    const std::uint32_t n_stride = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+    for (std::uint32_t k = 0; k < n_stride; ++k) {
+      const std::int64_t value = stride_menu[rng.next_below(8)];
+      const std::uint64_t weight = 1 + rng.next_below(99);
+      mp.stride.push_back({value, weight});
+    }
+    const std::uint64_t cold_weight = 1 + rng.next_below(99);
+    mp.reuse.push_back({MemProfile::kColdReuse, cold_weight});
+    const std::uint32_t n_reuse = static_cast<std::uint32_t>(rng.next_below(3));
+    for (std::uint32_t k = 0; k < n_reuse; ++k) {
+      const std::int64_t value = reuse_menu[rng.next_below(6)];
+      const std::uint64_t weight = 1 + rng.next_below(99);
+      mp.reuse.push_back({value, weight});
+    }
+    mp.footprint_lines = 1 + rng.next_below(std::max(p.footprint_lines_max, 1u));
+    mp.canonicalize();
+    return std::make_shared<const MemProfile>(std::move(mp));
+  };
   // Every rng-consuming call below is hoisted into a named local: argument
   // evaluation order is unspecified in C++, and a draw order that varied by
   // compiler would break the deterministic-per-(profile, seed) contract.
@@ -128,7 +163,8 @@ KernelInfo generate(const GenProfile& p, std::uint64_t seed) {
             static_cast<std::uint32_t>(1 + rng.next_below(std::max(p.footprint_lines_max, 1u)));
         const RegNum addr = rng.next_below(4) == 0 ? pick_src() : kNoReg;
         const RegNum dst = pick_dst();
-        out.ld_global(dst, pat, loc, region, lines, addr);
+        auto prof = pick_mem_profile();
+        out.ld_global(dst, pat, loc, region, lines, addr, std::move(prof));
         break;
       }
       case Op::kStGlobal: {
@@ -138,7 +174,9 @@ KernelInfo generate(const GenProfile& p, std::uint64_t seed) {
             static_cast<std::uint8_t>(1 + rng.next_below(std::min(p.regions_max, 255u)));
         const auto lines =
             static_cast<std::uint32_t>(1 + rng.next_below(std::max(p.footprint_lines_max, 1u)));
-        out.st_global(pick_src(), pat, loc, region, lines);
+        const RegNum data = pick_src();
+        auto prof = pick_mem_profile();
+        out.st_global(data, pat, loc, region, lines, std::move(prof));
         break;
       }
       case Op::kLdShared: {

@@ -161,8 +161,20 @@ GenProfile adversarial() {
   return p;
 }
 
+GenProfile profiled() {
+  GenProfile p = balanced();
+  p.name = "profiled";
+  p.lane_choices = {32};  // histogram coalesce degrees run up to full warps
+  p.w_ld_global = 4;
+  p.w_st_global = 2;
+  p.footprint_lines_max = 8192;
+  p.profile_percent = 70;
+  return p;
+}
+
 std::vector<GenProfile> all_profiles() {
-  return {register_limited(), scratchpad_limited(), balanced(), memory_bound(), adversarial()};
+  return {register_limited(), scratchpad_limited(), balanced(), memory_bound(), adversarial(),
+          profiled()};
 }
 
 GenProfile profile_by_name(const std::string& name) {

@@ -49,6 +49,13 @@ struct GenProfile {
   std::vector<Locality> localities{Locality::kStreaming};
   std::uint32_t footprint_lines_max = 2048;  ///< region footprints drawn from [1, max]
   std::uint32_t regions_max = 4;             ///< address regions drawn from [1, max]
+
+  /// Percentage of global-memory instructions that carry a synthesized
+  /// MemProfile histogram (isa/mem_profile.h) instead of relying on the
+  /// pattern/locality labels alone. 0 keeps generation byte-identical to
+  /// pre-profile builds; the "profiled" built-in exercises the
+  /// histogram-backed address path in the fuzzer.
+  std::uint32_t profile_percent = 0;
 };
 
 /// High register pressure, barely any scratchpad: paper Set-1 territory.
@@ -67,6 +74,11 @@ struct GenProfile {
 /// Deliberately nasty corners: odd block sizes, deep serial chains, dense
 /// barriers, full-scatter accesses, single-lane divergence.
 [[nodiscard]] GenProfile adversarial();
+
+/// Histogram-backed memory behaviour: most global accesses carry synthesized
+/// MemProfiles (stride/coalesce/reuse draws), exercising the same
+/// address-generation path as trace-imported kernels.
+[[nodiscard]] GenProfile profiled();
 
 /// All built-in profiles, in a fixed order.
 [[nodiscard]] std::vector<GenProfile> all_profiles();
