@@ -4,55 +4,22 @@
 //
 // The directory defaults to examples/kernels/ (relative to the working
 // directory, which is the repo root in CI); override with GRS_CORPUS_DIR.
-// Unreadable or malformed files are reported on stderr and skipped — the
-// strict load check lives in the test suite, the bench's job is to run what
-// it can. Scratchpad-sharing lines are added only for kernels that declare
-// scratchpad.
-#include <algorithm>
-#include <cstdio>
-#include <cstdlib>
-#include <filesystem>
-#include <string>
+// Unreadable or malformed files are reported on stderr and skipped
+// (runner::load_kernel_dir) — the strict load check lives in the test suite,
+// the bench's job is to run what it can. Scratchpad-sharing lines are added
+// only for kernels that declare scratchpad.
 #include <vector>
 
 #include "common/config.h"
 #include "common/table.h"
+#include "runner/kernel_source.h"
 #include "runner/registry.h"
-#include "workloads/format/gkd.h"
 
 namespace grs {
 namespace {
 
-std::string corpus_dir() {
-  const char* env = std::getenv("GRS_CORPUS_DIR");
-  return env != nullptr && *env != '\0' ? env : "examples/kernels";
-}
-
 std::vector<KernelInfo> load_corpus() {
-  std::vector<KernelInfo> kernels;
-  const std::string dir = corpus_dir();
-  std::error_code ec;
-  std::vector<std::string> paths;
-  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
-    if (entry.path().extension() == ".gkd") paths.push_back(entry.path().string());
-  }
-  if (ec) {
-    std::fprintf(stderr, "[corpus] cannot read %s: %s\n", dir.c_str(),
-                 ec.message().c_str());
-    return kernels;
-  }
-  std::sort(paths.begin(), paths.end());  // directory order is unspecified
-  for (const std::string& path : paths) {
-    try {
-      kernels.push_back(workloads::gkd::load_file(path));
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "[corpus] skipping %s: %s\n", path.c_str(), e.what());
-    }
-  }
-  if (kernels.empty()) {
-    std::fprintf(stderr, "[corpus] no loadable .gkd kernels under %s\n", dir.c_str());
-  }
-  return kernels;
+  return runner::load_kernel_dir(runner::default_corpus_dir());
 }
 
 GpuConfig shared_reg() { return configs::shared_owf_unroll_dyn(Resource::kRegisters, 0.1); }

@@ -1,23 +1,13 @@
 // grs_bench — unified driver for every paper figure/table sweep.
 //
-//   grs_bench --list
+//   grs_bench --list                     # registered benches + descriptions
 //   grs_bench fig8 fig10                 # reproduce figures 8 and 10
 //   grs_bench all --threads 8 --out results.csv
 //   grs_bench table5_6 --filter hotspot  # one kernel's sharing sweep
+//   grs_bench study                      # regenerate docs/study/
 //
-//   <bench...>|all    benches to run (see --list)
-//   --list            list registered benches and exit
-//   --threads N       worker threads (default: hardware concurrency)
-//   --filter SUBSTR   only kernels whose name contains SUBSTR (case-insensitive).
-//                     Benches with no per-kernel simulation (fig1, hw_cost)
-//                     evaluate closed-form models and print in full regardless.
-//   --exec-mode M     force cycle | event on every sweep point (default:
-//                     whatever the configs say — event). Output is
-//                     bit-identical across modes; event is faster.
-//   --out FILE        write CSV rows of every sweep point to FILE
-//   --json FILE       write the same rows as a JSON array to FILE
-//   --table           also print the generic per-sweep console table
-//   --quiet           skip the paper-shaped tables (sinks still run)
+// `grs_bench --help` documents every flag (print_help() below is the single
+// source of truth; scripts/check_docs.sh keeps the docs in sync with it).
 //
 // Paper tables go to stdout; progress/status go to stderr, so
 // `grs_bench fig8 > fig8.txt` matches the output of the old serial driver
@@ -39,9 +29,39 @@ using namespace grs;
 namespace {
 
 [[noreturn]] void usage(const std::string& msg) {
-  std::fprintf(stderr, "error: %s\n(see the header of bench/main.cc, or --list)\n",
+  std::fprintf(stderr, "error: %s\n(grs_bench --help lists the flags; --list the benches)\n",
                msg.c_str());
   std::exit(2);
+}
+
+void print_help() {
+  std::printf(
+      "usage: grs_bench <bench...>|all [options]\n"
+      "\n"
+      "Reproduce any paper figure/table sweep (or the docs/study sharing study)\n"
+      "through the parallel experiment engine. Paper tables go to stdout,\n"
+      "progress to stderr.\n"
+      "\n"
+      "  <bench...>|all    benches to run (see --list)\n"
+      "  --list            list registered benches with descriptions and exit\n"
+      "  --threads N       worker threads (default: hardware concurrency);\n"
+      "                    results are byte-identical for any value\n"
+      "  --filter SUBSTR   only kernels whose name contains SUBSTR\n"
+      "                    (case-insensitive); benches with no per-kernel\n"
+      "                    simulation (fig1, hw_cost) print in full regardless\n"
+      "  --exec-mode M     force cycle | event on every sweep point (default:\n"
+      "                    whatever the configs say — event); bit-identical stats\n"
+      "  --out FILE        write CSV rows of every sweep point to FILE\n"
+      "  --json FILE       write the same rows as a JSON array to FILE\n"
+      "  --table           also print the generic per-sweep console table\n"
+      "  --quiet           skip the paper-shaped presenters (sinks still run;\n"
+      "                    note: the study bench writes its reports from its\n"
+      "                    presenter, so --quiet skips those files too)\n"
+      "  --help            this text\n"
+      "\n"
+      "The study bench writes docs/study/ reports; override the directory with\n"
+      "GRS_STUDY_DIR. The corpus bench reads examples/kernels/; override with\n"
+      "GRS_CORPUS_DIR.\n");
 }
 
 void list_benches() {
@@ -65,7 +85,10 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage("missing value for " + a);
       return argv[++i];
     };
-    if (a == "--list") {
+    if (a == "--help" || a == "-h") {
+      print_help();
+      return 0;
+    } else if (a == "--list") {
       list_benches();
       return 0;
     } else if (a == "--threads") {
@@ -139,7 +162,17 @@ int main(int argc, char** argv) {
 
     for (const runner::SweepRow& row : rows)
       for (auto& s : sinks) s->add(b->name, row);
-    if (!quiet && b->present) b->present(runner::BenchView(rows));
+    // Presenters may do I/O (the study writes its report files): fail with a
+    // diagnostic exit like every other error path, not std::terminate —
+    // after finalizing the sinks so --out/--json files stay well-formed
+    // (every collected row is already in them).
+    try {
+      if (!quiet && b->present) b->present(runner::BenchView(rows));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s bench: %s\n", b->name.c_str(), e.what());
+      for (auto& s : sinks) s->end();
+      return 2;
+    }
   }
   for (auto& s : sinks) s->end();
   return 0;

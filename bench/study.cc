@@ -1,0 +1,19 @@
+// study — the parametric sharing study: GenProfile axes (register pressure x
+// staging tile x memory-boundedness x divergence) plus the saved corpus,
+// swept across the register- and scratchpad-sharing lines at every paper
+// sharing percentage, aggregated into the CI-locked reports under docs/study/
+// (or $GRS_STUDY_DIR). See src/study/.
+#include "runner/registry.h"
+#include "study/study.h"
+
+namespace grs {
+namespace {
+
+const runner::BenchRegistrar reg{
+    {"study",
+     "parametric GenProfile x sharing sweep; writes docs/study reports (GRS_STUDY_DIR)",
+     [] { return study::build_study_spec(); },
+     [](const runner::BenchView& v) { study::present_study(v, study::default_report_dir()); }}};
+
+}  // namespace
+}  // namespace grs

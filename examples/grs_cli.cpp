@@ -3,38 +3,13 @@
 //
 //   grs_cli --kernel hotspot --share registers --t 0.1 --sched owf
 //           [--unroll] [--dyn] [--grid N] [--compare]
+//   grs_cli --sweep [--threads N] [--out results.csv]   # all kernels, one line
+//   grs_cli --study [--threads N]     # sharing study -> docs/study ($GRS_STUDY_DIR)
+//   grs_cli --import-trace dump.csv --dump kernel.gkd   # trace -> .gkd
+//   grs_cli --validate kernel.gkd                       # lint, exit 2 on problems
 //
-//   --kernel SPEC     a built-in kernel name (default hotspot), a .gkd file
-//                     path, gen:<profile>:<seed>, or trace:<file>
-//                     (see src/runner/kernel_source.h)
-//   --load FILE       load the kernel from a .gkd file (always treated as a
-//                     file path, whatever it is named)
-//   --gen SEED        generate the kernel from a seed (workloads/gen)
-//   --profile NAME    generator profile for --gen (default balanced)
-//   --import-trace F  import an address trace (pc,tid,addr,size CSV or a
-//                     memory log; see src/workloads/trace/trace_reader.h)
-//                     into a histogram-profiled kernel; combine with --dump
-//                     to save it as .gkd
-//   --validate FILE   lint FILE as .gkd against the configured GPU without
-//                     simulating; prints file:line diagnostics and exits 2
-//                     when anything is wrong
-//   --dump FILE       write the resolved kernel as .gkd to FILE and exit
-//   --share RES       registers | scratchpad | none        (default none)
-//   --t X             sharing threshold in [0.001, 1]      (default 0.1)
-//   --sched S         lrr | gto | twolevel | owf           (default lrr)
-//   --unroll          enable register-declaration reordering
-//   --dyn             enable dynamic warp execution
-//   --grid N          override grid size (>= 1)
-//   --compare         also run Unshared-LRR and print the delta
-//   --exec-mode M     cycle | event (default event; bit-identical stats, the
-//                     event loop skips cycles in which no SM can issue)
-//   --list            list built-in kernels and exit
-//   --list-profiles   list generator profiles and exit
-//
-// Sweep mode (runs the configured line over *all* kernels in parallel via the
-// experiment engine, src/runner/):
-//
-//   grs_cli --sweep [--threads N] [--out results.csv] [--share ... --sched ...]
+// `grs_cli --help` documents every flag (print_help() below is the single
+// source of truth; scripts/check_docs.sh keeps the docs in sync with it).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +23,7 @@
 #include "runner/engine.h"
 #include "runner/kernel_source.h"
 #include "runner/sink.h"
+#include "study/study.h"
 #include "workloads/format/gkd.h"
 #include "workloads/gen/generator.h"
 #include "workloads/suites.h"
@@ -59,8 +35,49 @@ using namespace grs;
 namespace {
 
 [[noreturn]] void usage(const std::string& msg) {
-  std::fprintf(stderr, "error: %s\n(see the header of examples/grs_cli.cpp)\n", msg.c_str());
+  std::fprintf(stderr, "error: %s\n(grs_cli --help lists the flags)\n", msg.c_str());
   std::exit(2);
+}
+
+void print_help() {
+  std::printf(
+      "usage: grs_cli [options]\n"
+      "\n"
+      "Run one kernel under one configuration; the Swiss-army knife for\n"
+      "exploring the simulator (docs/architecture.md maps the pieces).\n"
+      "\n"
+      "Kernel selection (mutually exclusive):\n"
+      "  --kernel SPEC     built-in name (default hotspot), a .gkd file path,\n"
+      "                    gen:<profile>:<seed>, or trace:<file>\n"
+      "  --load FILE       load a .gkd file (always treated as a path)\n"
+      "  --gen SEED        generate from a seed (with --profile NAME,\n"
+      "                    default balanced)\n"
+      "  --import-trace F  import an address trace (CSV or memory log)\n"
+      "\n"
+      "Actions:\n"
+      "  --dump FILE       write the resolved kernel as .gkd and exit\n"
+      "  --validate FILE   lint FILE as .gkd against the configured GPU;\n"
+      "                    file:line diagnostics, exit 2 on problems\n"
+      "  --sweep           run the configured line over all built-in kernels\n"
+      "                    in parallel (--threads N, --out results.csv)\n"
+      "  --study           run the full sharing study and write its reports\n"
+      "                    into docs/study (or $GRS_STUDY_DIR); same engine\n"
+      "                    as `grs_bench study`\n"
+      "  --list            list built-in kernels and exit\n"
+      "  --list-profiles   list generator profiles and exit\n"
+      "  --help            this text\n"
+      "\n"
+      "Configuration:\n"
+      "  --share RES       registers | scratchpad | none      (default none)\n"
+      "  --t X             sharing threshold in [0.001, 1]    (default 0.1)\n"
+      "  --sched S         lrr | gto | twolevel | owf         (default lrr)\n"
+      "  --unroll          register-declaration reordering\n"
+      "  --dyn             dynamic warp execution\n"
+      "  --grid N          override grid size (>= 1)\n"
+      "  --compare         also run Unshared-LRR and print the delta\n"
+      "  --exec-mode M     cycle | event (default event; bit-identical stats)\n"
+      "  --threads N       worker threads for --sweep / --study\n"
+      "  --out FILE        CSV output for --sweep\n");
 }
 
 SchedulerKind parse_sched(const std::string& s) {
@@ -107,8 +124,9 @@ int main(int argc, char** argv) {
   double t = 0.1;
   SchedulerKind sched = SchedulerKind::kLrr;
   ExecMode exec_mode = ExecMode::kEvent;
-  bool unroll = false, dyn = false, compare = false, sweep = false;
+  bool unroll = false, dyn = false, compare = false, sweep = false, study = false;
   bool kernel_set = false, load_set = false, gen_set = false, trace_set = false;
+  bool sched_set = false, t_set = false, exec_set = false;
   std::string validate_file;
   std::uint64_t gen_seed = 0;
   std::uint32_t grid = 0;
@@ -144,10 +162,13 @@ int main(int argc, char** argv) {
     } else if (a == "--t") {
       t = arg_double(a, next());
       if (!(t >= 0.001 && t <= 1.0)) usage("--t must be in [0.001, 1]");
+      t_set = true;
     } else if (a == "--sched") {
       sched = parse_sched(next());
+      sched_set = true;
     } else if (a == "--exec-mode") {
       exec_mode = parse_exec_mode(next());
+      exec_set = true;
     } else if (a == "--unroll") {
       unroll = true;
     } else if (a == "--dyn") {
@@ -159,10 +180,15 @@ int main(int argc, char** argv) {
       compare = true;
     } else if (a == "--sweep") {
       sweep = true;
+    } else if (a == "--study") {
+      study = true;
     } else if (a == "--threads") {
       threads = arg_u32(a, next());
     } else if (a == "--out") {
       out_csv = next();
+    } else if (a == "--help" || a == "-h") {
+      print_help();
+      return 0;
     } else if (a == "--list") {
       for (const auto& n : workloads::all_names()) std::printf("%s\n", n.c_str());
       return 0;
@@ -194,9 +220,9 @@ int main(int argc, char** argv) {
   cfg.validate();
 
   if (!validate_file.empty()) {
-    if (kernel_set || load_set || gen_set || trace_set || sweep || compare ||
+    if (kernel_set || load_set || gen_set || trace_set || sweep || study || compare ||
         !dump_file.empty()) {
-      usage("--validate lints one file; kernel-selection/--dump/--sweep/--compare "
+      usage("--validate lints one file; kernel-selection/--dump/--sweep/--study/--compare "
             "do not apply");
     }
     const std::vector<std::string> diags = workloads::lint_gkd_file(validate_file, cfg);
@@ -208,6 +234,26 @@ int main(int argc, char** argv) {
     }
     std::printf("OK: %s lints clean against %s\n", validate_file.c_str(),
                 cfg.line_label().c_str());
+    return 0;
+  }
+
+  if (study) {
+    // The study fixes its own kernels and configuration lines; reject every
+    // flag it would otherwise silently ignore.
+    if (kernel_set || load_set || gen_set || trace_set || sweep || compare || grid != 0 ||
+        !dump_file.empty() || !out_csv.empty() || share != "none" || sched_set || t_set ||
+        unroll || dyn || exec_set) {
+      usage("--study runs the full sharing study with its own kernels and configs; only "
+            "--threads applies");
+    }
+    try {
+      study::StudyOptions options;
+      options.threads = threads;
+      study::run_study(options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
     return 0;
   }
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Doc-consistency check (wired into CI):
+#
+#   1. The committed docs/study/ pages must be byte-identical to what
+#      `grs_bench study` regenerates — for --threads 1 and 8, so the check
+#      also re-proves the engine's thread-count determinism on the full study.
+#   2. Every `--flag` a doc shows on a grs_cli / grs_bench command line must
+#      exist in that binary's --help output (no documented-but-removed flags).
+#   3. Every bench registered in `grs_bench --list` must be mentioned in the
+#      docs, so the CLI surface and the documentation stay in sync.
+#
+# Usage: scripts/check_docs.sh  (from the repo root, after building ./build)
+# Override the binaries with GRS_BENCH / GRS_CLI.
+set -euo pipefail
+
+BENCH=${GRS_BENCH:-build/grs_bench}
+CLI=${GRS_CLI:-build/grs_cli}
+fail=0
+
+# --- 1. docs/study regeneration ----------------------------------------------
+for threads in 1 8; do
+  tmp=$(mktemp -d)
+  GRS_STUDY_DIR="$tmp" "$BENCH" study --threads "$threads" >/dev/null
+  if ! diff -ru docs/study "$tmp"; then
+    echo "error: committed docs/study differs from a --threads $threads regeneration;" >&2
+    echo "       run ./build/grs_bench study and commit the result" >&2
+    fail=1
+  fi
+  rm -rf "$tmp"
+done
+
+# --- 2. CLI flag drift --------------------------------------------------------
+cli_help=$("$CLI" --help)
+bench_help=$("$BENCH" --help)
+drift=$(python3 - "$cli_help" "$bench_help" README.md docs/*.md <<'EOF'
+import re, sys
+cli_help, bench_help = sys.argv[1], sys.argv[2]
+ok = True
+for path in sys.argv[3:]:
+    for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+        helps = []
+        if "grs_cli" in line:
+            helps.append(("grs_cli", cli_help))
+        if "grs_bench" in line:
+            helps.append(("grs_bench", bench_help))
+        if not helps:
+            continue
+        for flag in set(re.findall(r"--[a-z][a-z-]*", line)):
+            if not any(re.search(re.escape(flag) + r"\b", h) for _, h in helps):
+                names = "/".join(n for n, _ in helps)
+                print(f"{path}:{lineno}: documents {names} flag {flag} "
+                      f"missing from --help")
+                ok = False
+sys.exit(0 if ok else 1)
+EOF
+) || { printf '%s\n' "$drift" >&2; echo "error: documented flags drifted from --help" >&2; fail=1; }
+
+# --- 3. every registered bench is documented ----------------------------------
+while read -r name _; do
+  if ! grep -rqe "$name" README.md docs/*.md; then
+    echo "error: bench '$name' from grs_bench --list is not mentioned in README.md or docs/" >&2
+    fail=1
+  fi
+done < <("$BENCH" --list)
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "docs are consistent: study pages regenerate byte-identically, no flag drift,"
+echo "all $("$BENCH" --list | wc -l) benches documented"

@@ -1,5 +1,9 @@
 #include "runner/kernel_source.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <optional>
 #include <stdexcept>
 
@@ -55,6 +59,36 @@ KernelInfo resolve_kernel(const std::string& spec) {
   }
   throw std::runtime_error("unknown kernel '" + spec + "'; valid names: " + names +
                            " (or a .gkd file path, gen:<profile>:<seed>, or trace:<file>)");
+}
+
+std::string default_corpus_dir() {
+  const char* env = std::getenv("GRS_CORPUS_DIR");
+  return env != nullptr && *env != '\0' ? env : "examples/kernels";
+}
+
+std::vector<KernelInfo> load_kernel_dir(const std::string& dir) {
+  std::vector<KernelInfo> kernels;
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".gkd") paths.push_back(entry.path().string());
+  }
+  if (ec) {
+    std::fprintf(stderr, "[corpus] cannot read %s: %s\n", dir.c_str(), ec.message().c_str());
+    return kernels;
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    try {
+      kernels.push_back(workloads::gkd::load_file(path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[corpus] skipping %s: %s\n", path.c_str(), e.what());
+    }
+  }
+  if (kernels.empty()) {
+    std::fprintf(stderr, "[corpus] no loadable .gkd kernels under %s\n", dir.c_str());
+  }
+  return kernels;
 }
 
 }  // namespace grs::runner

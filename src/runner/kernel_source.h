@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "workloads/kernel_info.h"
 
@@ -22,5 +23,17 @@ namespace grs::runner {
 
 /// Resolve `spec` to a kernel; throws std::runtime_error on any failure.
 [[nodiscard]] KernelInfo resolve_kernel(const std::string& spec);
+
+/// The saved-kernel corpus directory: $GRS_CORPUS_DIR when set and non-empty,
+/// else "examples/kernels" (relative to the working directory — the repo root
+/// in CI and the documented workflows).
+[[nodiscard]] std::string default_corpus_dir();
+
+/// Load every .gkd file under `dir`, in sorted-path order (directory order is
+/// unspecified). Unreadable or malformed files are reported on stderr and
+/// skipped; a missing/empty directory is reported and yields an empty vector.
+/// The strict load contract lives in the test suite — sweep drivers run what
+/// they can.
+[[nodiscard]] std::vector<KernelInfo> load_kernel_dir(const std::string& dir);
 
 }  // namespace grs::runner

@@ -1,0 +1,155 @@
+#include "study/aggregate.h"
+
+#include <algorithm>
+
+namespace grs::study {
+
+namespace {
+
+/// Collect one kernel's series for `resource`; false when any percent is
+/// missing from the results (filtered run). Callers only pass kernels the
+/// family applies to, so a false return always means an incomplete sweep.
+bool collect_series(const runner::BenchView& view, const StudyGrid& grid, Resource resource,
+                    const KernelInfo& kernel, CellSeries& out) {
+  out.kernel = kernel.name;
+  out.points.clear();
+  for (double p : grid.percents) {
+    const SimResult* r = view.find(variant_label(resource, p), kernel.name);
+    if (r == nullptr) return false;
+    out.points.push_back({p, r->stats.ipc(), r->occupancy.total_blocks});
+  }
+  if (out.points.empty()) return false;
+  out.baseline_ipc = out.points.front().ipc;
+  out.baseline_blocks = out.points.front().blocks;
+  out.peak_ipc = out.baseline_ipc;
+  out.peak_percent = out.points.front().percent;
+  out.peak_blocks = out.baseline_blocks;
+  for (const SeriesPoint& pt : out.points) {
+    if (pt.ipc > out.peak_ipc) {
+      out.peak_ipc = pt.ipc;
+      out.peak_percent = pt.percent;
+      out.peak_blocks = pt.blocks;
+    }
+  }
+  out.speedup = out.baseline_ipc == 0 ? 1.0 : out.peak_ipc / out.baseline_ipc;
+  return true;
+}
+
+/// Marginal over the cells whose axis value (selected by `axis_of`) equals
+/// `value`; null row when no cell matches (e.g. staging 0 in the scratchpad
+/// family).
+template <typename AxisOf>
+MarginalRow marginal(const std::vector<CellSeries>& cells, const std::string& level,
+                     std::uint32_t value, AxisOf axis_of) {
+  MarginalRow row;
+  row.level = level;
+  for (const CellSeries& c : cells) {
+    if (axis_of(c.axes) != value) continue;
+    ++row.cells;
+    row.mean_speedup += c.speedup;
+    row.max_speedup = std::max(row.max_speedup, c.speedup);
+    row.mean_peak_percent += c.peak_percent;
+    row.mean_extra_blocks += static_cast<double>(c.peak_blocks) - c.baseline_blocks;
+  }
+  if (row.cells > 0) {
+    const auto n = static_cast<double>(row.cells);
+    row.mean_speedup /= n;
+    row.mean_peak_percent /= n;
+    row.mean_extra_blocks /= n;
+  }
+  return row;
+}
+
+std::uint32_t axis_regs(const workloads::gen::StudyAxes& a) { return a.regs_per_thread; }
+std::uint32_t axis_staging(const workloads::gen::StudyAxes& a) { return a.smem_per_block; }
+std::uint32_t axis_memory(const workloads::gen::StudyAxes& a) { return a.mem_intensity; }
+std::uint32_t axis_lanes(const workloads::gen::StudyAxes& a) { return a.lanes; }
+
+/// Mean speedup of the cells matching both surface coordinates.
+double surface_cell(const std::vector<CellSeries>& cells, bool row_is_staging,
+                    std::uint32_t row_value, std::uint32_t memory) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const CellSeries& c : cells) {
+    const std::uint32_t rv = row_is_staging ? c.axes.smem_per_block : c.axes.regs_per_thread;
+    if (rv != row_value || c.axes.mem_intensity != memory) continue;
+    sum += c.speedup;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+FamilyAggregation aggregate_family(const StudyPlan& plan, const runner::BenchView& view,
+                                   Resource resource) {
+  FamilyAggregation fam;
+  fam.resource = resource;
+  const StudyGrid& grid = plan.grid;
+
+  for (const StudyCell& cell : plan.cells) {
+    CellSeries series;
+    series.generated = true;
+    series.axes = cell.axes;
+    if (resource == Resource::kScratchpad && cell.axes.smem_per_block == 0) continue;
+    if (collect_series(view, grid, resource, cell.kernel, series)) {
+      fam.cells.push_back(std::move(series));
+    } else {
+      ++fam.skipped;
+    }
+  }
+  for (const KernelInfo& kernel : plan.corpus) {
+    if (resource == Resource::kScratchpad && kernel.resources.smem_per_block == 0) continue;
+    CellSeries series;
+    if (collect_series(view, grid, resource, kernel, series)) {
+      fam.corpus.push_back(std::move(series));
+    } else {
+      ++fam.skipped;
+    }
+  }
+
+  for (std::uint32_t v : grid.regs) {
+    fam.by_regs.push_back(marginal(fam.cells, std::to_string(v), v, axis_regs));
+  }
+  for (std::uint32_t v : grid.staging) {
+    MarginalRow row = marginal(fam.cells, std::to_string(v) + " B", v, axis_staging);
+    if (row.cells > 0) fam.by_staging.push_back(std::move(row));
+  }
+  for (std::uint32_t v : grid.memory) {
+    fam.by_memory.push_back(marginal(fam.cells, memory_level_name(v), v, axis_memory));
+  }
+  for (std::uint32_t v : grid.lanes) {
+    fam.by_lanes.push_back(marginal(fam.cells, std::to_string(v), v, axis_lanes));
+  }
+
+  const bool row_is_staging = resource == Resource::kScratchpad;
+  const std::vector<std::uint32_t>& row_values = row_is_staging ? grid.staging : grid.regs;
+  for (std::uint32_t rv : row_values) {
+    if (row_is_staging && rv == 0) continue;
+    fam.surface_rows.push_back(row_is_staging ? std::to_string(rv) + " B" : std::to_string(rv));
+    std::vector<double> row;
+    for (std::uint32_t m : grid.memory) {
+      row.push_back(surface_cell(fam.cells, row_is_staging, rv, m));
+    }
+    fam.surface.push_back(std::move(row));
+  }
+  for (std::uint32_t m : grid.memory) fam.surface_cols.push_back(memory_level_name(m));
+
+  fam.peak_histogram.assign(grid.percents.size(), 0);
+  for (const CellSeries& c : fam.cells) {
+    for (std::size_t i = 0; i < grid.percents.size(); ++i) {
+      if (c.peak_percent == grid.percents[i]) ++fam.peak_histogram[i];
+    }
+  }
+  return fam;
+}
+
+}  // namespace
+
+StudyAggregation aggregate(const StudyPlan& plan, const runner::BenchView& view) {
+  StudyAggregation agg;
+  agg.grid = plan.grid;
+  agg.registers = aggregate_family(plan, view, Resource::kRegisters);
+  agg.scratchpad = aggregate_family(plan, view, Resource::kScratchpad);
+  return agg;
+}
+
+}  // namespace grs::study

@@ -1,0 +1,88 @@
+// Sharing-study aggregation: fold the sweep's raw rows back onto the plan's
+// axis grid — per-cell IPC series over the sharing percentages, peak
+// detection, per-axis marginal summaries, and the regs/staging x
+// memory-boundedness speedup surfaces the reports render.
+//
+// Aggregation is pure over (plan, rows): iteration order and floating-point
+// summation order are fixed by the plan, so the same sweep results always
+// aggregate to byte-identical reports regardless of worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "runner/registry.h"
+#include "study/plan.h"
+
+namespace grs::study {
+
+/// One sharing percentage of one kernel's series.
+struct SeriesPoint {
+  double percent = 0;
+  double ipc = 0;
+  std::uint32_t blocks = 0;  ///< resident thread blocks per SM
+};
+
+/// One kernel's complete series over a family's sharing percentages, with the
+/// detected peak. The baseline is the series' first (lowest) percentage; ties
+/// resolve to the lowest peaking percentage.
+struct CellSeries {
+  std::string kernel;
+  bool generated = false;  ///< true: axes hold this cell's grid coordinates
+  workloads::gen::StudyAxes axes;
+  std::vector<SeriesPoint> points;
+
+  double baseline_ipc = 0;
+  double peak_ipc = 0;
+  double peak_percent = 0;
+  double speedup = 0;  ///< peak_ipc / baseline_ipc
+  std::uint32_t baseline_blocks = 0;
+  std::uint32_t peak_blocks = 0;
+};
+
+/// Summary of every cell sharing one level of one axis.
+struct MarginalRow {
+  std::string level;
+  std::size_t cells = 0;
+  double mean_speedup = 0;
+  double max_speedup = 0;
+  double mean_peak_percent = 0;
+  double mean_extra_blocks = 0;  ///< mean (peak_blocks - baseline_blocks)
+};
+
+/// Everything aggregated for one sharing family (registers or scratchpad).
+struct FamilyAggregation {
+  Resource resource = Resource::kRegisters;
+  std::vector<CellSeries> cells;   ///< generated cells with complete series
+  std::vector<CellSeries> corpus;  ///< corpus kernels with complete series
+
+  std::vector<MarginalRow> by_regs, by_staging, by_memory, by_lanes;
+
+  /// Mean-speedup surface: pressure axis rows (regs for the register family,
+  /// staging tiles > 0 for the scratchpad family) x memory-boundedness
+  /// columns, averaged over the remaining axes.
+  std::vector<std::string> surface_rows, surface_cols;
+  std::vector<std::vector<double>> surface;
+
+  /// Cells whose detected peak sits at percents[i].
+  std::vector<std::size_t> peak_histogram;
+
+  /// Kernels dropped for missing points (a --filter run); complete reports
+  /// need a full sweep.
+  std::size_t skipped = 0;
+};
+
+struct StudyAggregation {
+  StudyGrid grid;
+  FamilyAggregation registers, scratchpad;
+};
+
+/// Map the sweep's rows (keyed by variant label x kernel name) back onto the
+/// plan. Kernels missing any of their family's percents are counted in
+/// `skipped` and excluded from every table.
+[[nodiscard]] StudyAggregation aggregate(const StudyPlan& plan,
+                                         const runner::BenchView& view);
+
+}  // namespace grs::study

@@ -1,0 +1,91 @@
+#include "study/plan.h"
+
+#include <cstdio>
+
+#include "runner/kernel_source.h"
+#include "workloads/gen/generator.h"
+
+namespace grs::study {
+
+StudyGrid default_grid() {
+  StudyGrid g;
+  // Register pressure with 256-thread blocks. Sharing recovers the *waste*
+  // of the limiting resource (Eq. 4 adds ⌊(R - D*Rtb)/(t*Rtb)⌋ blocks), so
+  // the levels are chosen for their remainders, mirroring Fig. 1(b):
+  // 16 regs/thread never limits (threads cap at 6 blocks first — the
+  // negative control); 28 admits 4 blocks wasting 4096 regs; 36 (hotspot's
+  // count) admits 3 wasting 5120; 44 admits 2 wasting 10240 (90% of a
+  // block — the b+tree-like best case).
+  g.regs = {16, 28, 36, 44};
+  // Staging tiles against the 16KB scratchpad, same logic: none, mild
+  // (5 blocks, 1KB waste), severe (2 blocks, 4KB waste — the SRAD1-like
+  // shape where scratchpad sharing doubles residency).
+  g.staging = {0, 3072, 6144};
+  g.memory = {0, 1, 2};
+  g.lanes = {32, 16, 8};
+  g.percents = {0, 10, 30, 50, 70, 90};
+  g.seed = 1;
+  return g;
+}
+
+const char* memory_level_name(std::uint32_t intensity) {
+  switch (intensity) {
+    case 0: return "light";
+    case 1: return "medium";
+    default: return "heavy";
+  }
+}
+
+StudyPlan build_plan(const StudyGrid& grid, const std::string& corpus_dir) {
+  StudyPlan plan;
+  plan.grid = grid;
+  plan.cells.reserve(grid.cell_count());
+  for (std::uint32_t r : grid.regs) {
+    for (std::uint32_t sm : grid.staging) {
+      for (std::uint32_t m : grid.memory) {
+        for (std::uint32_t l : grid.lanes) {
+          StudyCell cell;
+          cell.axes = workloads::gen::StudyAxes{r, sm, m, l};
+          cell.kernel =
+              workloads::gen::generate(workloads::gen::study_profile(cell.axes), grid.seed);
+          plan.cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  if (!corpus_dir.empty()) plan.corpus = runner::load_kernel_dir(corpus_dir);
+  return plan;
+}
+
+std::string variant_label(Resource resource, double percent) {
+  const char* family = resource == Resource::kRegisters ? "reg" : "smem";
+  return std::string(family) + " " + std::to_string(static_cast<int>(percent)) + "%";
+}
+
+GpuConfig family_config(Resource resource, double percent) {
+  const double t = 1.0 - percent / 100.0;
+  return resource == Resource::kRegisters
+             ? configs::shared_owf_unroll_dyn(Resource::kRegisters, t)
+             : configs::shared_owf(Resource::kScratchpad, t);
+}
+
+runner::SweepSpec to_sweep_spec(const StudyPlan& plan) {
+  runner::SweepSpec spec;
+  auto add_kernel = [&](const KernelInfo& kernel) {
+    for (double p : plan.grid.percents) {
+      spec.add(variant_label(Resource::kRegisters, p), family_config(Resource::kRegisters, p),
+               kernel);
+    }
+    if (kernel.resources.smem_per_block > 0) {
+      for (double p : plan.grid.percents) {
+        spec.add(variant_label(Resource::kScratchpad, p),
+                 family_config(Resource::kScratchpad, p), kernel);
+      }
+    }
+  };
+  for (const StudyCell& cell : plan.cells) add_kernel(cell.kernel);
+  for (const KernelInfo& kernel : plan.corpus) add_kernel(kernel);
+  return spec;
+}
+
+}  // namespace grs::study

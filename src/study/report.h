@@ -1,0 +1,37 @@
+// Sharing-study report emitters: deterministic Markdown + CSV renderings of a
+// StudyAggregation, written into docs/study/ and committed like any other
+// artifact. Every emitter is a pure string function of the aggregation (no
+// timestamps, fixed iteration order, fixed float formatting), so re-running
+// the study reproduces the committed pages byte-identically — which is what
+// the doc-consistency CI step checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "study/aggregate.h"
+
+namespace grs::study {
+
+/// Full per-point grid of one family's generated cells as CSV.
+[[nodiscard]] std::string family_csv(const FamilyAggregation& fam, const StudyGrid& grid);
+
+/// One family's study page: peak histogram, per-axis marginals, the speedup
+/// surface, and the top cells.
+[[nodiscard]] std::string family_markdown(const FamilyAggregation& fam, const StudyGrid& grid);
+
+/// Both families' corpus kernels (saved .gkd, including trace imports) as the
+/// paper's Table V/VII shape: IPC per sharing percentage.
+[[nodiscard]] std::string corpus_markdown(const StudyAggregation& agg);
+[[nodiscard]] std::string corpus_csv(const StudyAggregation& agg);
+
+/// Overview page: grid definition, headline results, trend checks against the
+/// paper's Table V-VIII claims, and regeneration instructions.
+[[nodiscard]] std::string index_markdown(const StudyAggregation& agg);
+
+/// Write every report file into `dir` (created when missing). Returns the
+/// file names written, in a fixed order; throws std::runtime_error when a
+/// file cannot be written.
+std::vector<std::string> write_reports(const StudyAggregation& agg, const std::string& dir);
+
+}  // namespace grs::study

@@ -1,8 +1,41 @@
 #include "workloads/gen/profile.h"
 
+#include <optional>
 #include <stdexcept>
 
+#include "common/parse.h"
+
 namespace grs::workloads::gen {
+
+namespace {
+
+/// Parse a canonical study tag "study-r<u32>-sm<u32>-m<u32>-l<u32>" with the
+/// strict whole-token parsers (common/parse.h) — no sscanf overflow UB.
+std::optional<StudyAxes> parse_study_tag(const std::string& name) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    const std::size_t dash = name.find('-', start);
+    const std::size_t end = dash == std::string::npos ? name.size() : dash;
+    parts.push_back(name.substr(start, end - start));
+    start = end + 1;
+    if (dash == std::string::npos) break;
+  }
+  if (parts.size() != 5 || parts[0] != "study") return std::nullopt;
+  const char* prefixes[4] = {"r", "sm", "m", "l"};
+  std::uint32_t values[4];
+  for (int i = 0; i < 4; ++i) {
+    const std::string& part = parts[i + 1];
+    const std::size_t plen = std::char_traits<char>::length(prefixes[i]);
+    if (part.compare(0, plen, prefixes[i]) != 0) return std::nullopt;
+    const std::optional<std::uint32_t> v = parse_u32(part.substr(plen));
+    if (!v.has_value()) return std::nullopt;
+    values[i] = *v;
+  }
+  return StudyAxes{values[0], values[1], values[2], values[3]};
+}
+
+}  // namespace
 
 GenProfile register_limited() {
   GenProfile p;
@@ -172,12 +205,101 @@ GenProfile profiled() {
   return p;
 }
 
+std::string StudyAxes::tag() const {
+  return "r" + std::to_string(regs_per_thread) + "-sm" + std::to_string(smem_per_block) + "-m" +
+         std::to_string(mem_intensity) + "-l" + std::to_string(lanes);
+}
+
+GenProfile study_profile(const StudyAxes& axes) {
+  GenProfile p;
+  p.name = "study-" + axes.tag();
+
+  // Pinned dimensions: one block size / grid / segment shape for the whole
+  // grid, so cells differ only along the four axes. 256-thread blocks give
+  // the paper-typical register-pressure spread (6 blocks by threads,
+  // floor(32768 / (256 * regs)) by registers). The grid supplies 6 blocks of
+  // work per SM — as much as the thread limit can ever host — so higher
+  // residency always converts into fewer dispatch waves; a smaller grid
+  // would leave the recovered blocks with nothing to run and flatten every
+  // sharing series (the paper sweeps launch thousands of blocks).
+  p.block_sizes = {256};
+  p.regs_min = p.regs_max = axes.regs_per_thread;
+  p.smem_min = p.smem_max = axes.smem_per_block;
+  p.grid_min = p.grid_max = 84;
+  p.lane_choices = {axes.lanes};
+  p.segments_min = p.segments_max = 3;
+  p.iters_max = 6;
+  p.body_min = p.body_max = 5;
+  p.max_dynamic_length = 96;
+  p.dep_window = 3;
+
+  switch (axes.mem_intensity) {
+    case 0:  // light: compute-bound, cache-resident coalesced streams
+      p.w_alu = 8;
+      p.w_sfu = 1;
+      p.w_ld_global = 1;
+      p.w_st_global = 1;
+      p.patterns = {MemPattern::kCoalesced};
+      p.localities = {Locality::kBlockLocal, Locality::kStreaming};
+      p.footprint_lines_max = 256;
+      p.regions_max = 2;
+      break;
+    case 1:  // medium: L2-latency-bound. Reuse-heavy localities over an
+             // L2-resident working set make the 160-cycle L2 round trip the
+             // dominant stall (not DRAM bandwidth), and memory stays under
+             // half the issue mix so the 1-per-cycle LSU port is not the
+             // binding constraint — extra warps can actually hide latency.
+      p.w_alu = 6;
+      p.w_sfu = 0;
+      p.w_ld_global = 2;
+      p.w_st_global = 1;
+      p.patterns = {MemPattern::kCoalesced, MemPattern::kStrided2};
+      p.localities = {Locality::kGridShared, Locality::kBlockLocal};
+      p.footprint_lines_max = 1024;
+      p.regions_max = 4;
+      break;
+    default:  // heavy: DRAM-latency-bound. Coalesced cold streams over 2x the
+              // L2 keep every access a miss without multiplying transactions
+              // — the warp starves on the ~200-cycle round trip, not on
+              // saturated DRAM bandwidth, so recovered blocks have latency
+              // left to hide (scatter patterns would saturate the banks and
+              // flatten the sharing series instead).
+      p.w_alu = 4;
+      p.w_sfu = 0;
+      p.w_ld_global = 3;
+      p.w_st_global = 1;
+      p.patterns = {MemPattern::kCoalesced, MemPattern::kStrided2};
+      p.localities = {Locality::kStreaming};
+      p.footprint_lines_max = 12288;
+      p.regions_max = 6;
+      break;
+  }
+
+  if (axes.smem_per_block > 0) {
+    p.w_ld_shared = 2;
+    p.w_st_shared = 1;
+    p.w_barrier = 1;
+  }
+  return p;
+}
+
 std::vector<GenProfile> all_profiles() {
   return {register_limited(), scratchpad_limited(), balanced(), memory_bound(), adversarial(),
           profiled()};
 }
 
 GenProfile profile_by_name(const std::string& name) {
+  if (name.compare(0, 6, "study-") == 0) {
+    const std::optional<StudyAxes> axes = parse_study_tag(name);
+    if (axes.has_value() && axes->regs_per_thread >= 2 && axes->regs_per_thread <= 128 &&
+        axes->smem_per_block <= 16384 && axes->mem_intensity <= 2 && axes->lanes >= 1 &&
+        axes->lanes <= 32) {
+      GenProfile p = study_profile(*axes);
+      if (p.name == name) return p;  // reject non-canonical spellings, e.g. "-sm04-"
+    }
+    throw std::runtime_error("bad study profile '" + name +
+                             "' (expected study-r<regs>-sm<bytes>-m<0|1|2>-l<1..32>)");
+  }
   std::string valid;
   for (const GenProfile& p : all_profiles()) {
     if (p.name == name) return p;

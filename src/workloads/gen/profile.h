@@ -80,10 +80,40 @@ struct GenProfile {
 /// address-generation path as trace-imported kernels.
 [[nodiscard]] GenProfile profiled();
 
+/// One point of the sharing-study grid (src/study/): the four axes the study
+/// sweeps, everything else pinned. Values are raw knob settings, not level
+/// indices, so a StudyAxes is self-describing in kernel names and reports.
+struct StudyAxes {
+  std::uint32_t regs_per_thread = 24;  ///< register pressure
+  std::uint32_t smem_per_block = 0;    ///< staging: scratchpad tile bytes (0 = none)
+  std::uint32_t mem_intensity = 1;     ///< memory-boundedness: 0 light, 1 medium, 2 heavy
+  std::uint32_t lanes = 32;            ///< divergence: active lanes per warp
+
+  /// Compact coordinate tag, e.g. "r24-sm4096-m1-l32" (used in kernel names,
+  /// report rows and CSV columns).
+  [[nodiscard]] std::string tag() const;
+};
+
+/// Axis-parameterized profile for the sharing study: every range the
+/// generator samples is collapsed to a single value (block size 256, grid 84,
+/// fixed segment shape), so the four StudyAxes are the only signal separating
+/// two cells. smem > 0 turns on scratchpad staging traffic (ld/st.shared +
+/// barriers); mem_intensity selects instruction mix, access patterns and
+/// footprint together, from cache-resident coalesced streams (0) through
+/// L2-latency-bound reuse (1) to DRAM-latency-bound cold streams over 2x the
+/// L2 (2) — each level latency-bound rather than bandwidth-bound, so blocks
+/// recovered by sharing have stalls left to hide. The profile name is
+/// "study-" + axes.tag(), so generated kernels are named
+/// "gen-study-<tag>-<seed>".
+[[nodiscard]] GenProfile study_profile(const StudyAxes& axes);
+
 /// All built-in profiles, in a fixed order.
 [[nodiscard]] std::vector<GenProfile> all_profiles();
 
 /// Lookup by name; throws std::runtime_error listing the valid names.
+/// Besides the built-ins, parametric study profiles are addressable by their
+/// canonical tag — "study-r44-sm0-m2-l32" — so any cell of a docs/study
+/// report can be regenerated from the CLI (`--kernel gen:study-<tag>:<seed>`).
 [[nodiscard]] GenProfile profile_by_name(const std::string& name);
 
 }  // namespace grs::workloads::gen

@@ -1,0 +1,297 @@
+// Sharing-study engine (src/study/): plan construction, aggregation over
+// hand-built result grids with known peaks, emitter goldens, and byte-identity
+// of the generated reports across worker counts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "runner/engine.h"
+#include "study/aggregate.h"
+#include "study/plan.h"
+#include "study/report.h"
+#include "workloads/gen/generator.h"
+#include "workloads/gen/profile.h"
+
+namespace grs {
+namespace {
+
+using study::CellSeries;
+using study::FamilyAggregation;
+using study::StudyAggregation;
+using study::StudyGrid;
+using study::StudyPlan;
+using workloads::gen::StudyAxes;
+
+// --- axis-parameterized profiles ------------------------------------------------
+
+TEST(StudyProfile, PinsEveryAxisValue) {
+  for (std::uint32_t regs : {16u, 28u, 36u, 44u}) {
+    for (std::uint32_t smem : {0u, 3072u, 6144u}) {
+      for (std::uint32_t mem : {0u, 1u, 2u}) {
+        for (std::uint32_t lanes : {32u, 16u, 8u}) {
+          const StudyAxes axes{regs, smem, mem, lanes};
+          const KernelInfo k = workloads::gen::generate(workloads::gen::study_profile(axes), 1);
+          k.validate();
+          EXPECT_EQ(k.resources.regs_per_thread, regs);
+          EXPECT_EQ(k.resources.smem_per_block, smem);
+          EXPECT_EQ(k.resources.threads_per_block, 256u);
+          EXPECT_EQ(k.active_lanes, lanes);
+          EXPECT_EQ(k.grid_blocks, 84u);
+          EXPECT_EQ(k.name, "gen-study-" + axes.tag() + "-1");
+        }
+      }
+    }
+  }
+}
+
+TEST(StudyProfile, TagIsAddressableThroughProfileByName) {
+  const StudyAxes axes{44, 0, 2, 32};
+  const auto p = workloads::gen::profile_by_name("study-r44-sm0-m2-l32");
+  EXPECT_EQ(p.name, workloads::gen::study_profile(axes).name);
+  EXPECT_THROW(workloads::gen::profile_by_name("study-r44-sm0-m9-l32"), std::runtime_error);
+  EXPECT_THROW(workloads::gen::profile_by_name("study-r44"), std::runtime_error);
+  EXPECT_THROW(workloads::gen::profile_by_name("study-r44-sm04-m2-l32"), std::runtime_error);
+}
+
+// --- plan ------------------------------------------------------------------------
+
+StudyGrid tiny_grid() {
+  StudyGrid g;
+  g.regs = {16, 44};
+  g.staging = {0};
+  g.memory = {1};
+  g.lanes = {32};
+  g.percents = {0, 50, 90};
+  g.seed = 1;
+  return g;
+}
+
+TEST(StudyPlanTest, CellOrderAndSweepShape) {
+  const StudyPlan plan = study::build_plan(tiny_grid(), "");
+  ASSERT_EQ(plan.cells.size(), 2u);
+  EXPECT_EQ(plan.cells[0].axes.regs_per_thread, 16u);
+  EXPECT_EQ(plan.cells[1].axes.regs_per_thread, 44u);
+  EXPECT_TRUE(plan.corpus.empty());
+
+  const runner::SweepSpec spec = study::to_sweep_spec(plan);
+  // No cell declares scratchpad, so only the register family is planned.
+  ASSERT_EQ(spec.size(), 2u * 3u);
+  EXPECT_EQ(spec.points[0].variant, "reg 0%");
+  EXPECT_EQ(spec.points[2].variant, "reg 90%");
+  EXPECT_EQ(spec.points[0].config.sharing.resource, Resource::kRegisters);
+  EXPECT_DOUBLE_EQ(spec.points[0].config.sharing.threshold_t, 1.0);
+  EXPECT_NEAR(spec.points[2].config.sharing.threshold_t, 0.1, 1e-12);
+}
+
+TEST(StudyPlanTest, ScratchpadFamilyOnlyForStagingCells) {
+  StudyGrid g = tiny_grid();
+  g.staging = {0, 3072};
+  const StudyPlan plan = study::build_plan(g, "");
+  const runner::SweepSpec spec = study::to_sweep_spec(plan);
+  // 4 cells x 3 register percents + 2 staging cells x 3 scratchpad percents.
+  EXPECT_EQ(spec.size(), 4u * 3u + 2u * 3u);
+  EXPECT_EQ(study::variant_label(Resource::kScratchpad, 90), "smem 90%");
+}
+
+// --- aggregation over a hand-built result grid -----------------------------------
+
+/// A fake completed sweep: one row per (variant, kernel) with the given IPC
+/// (as thread instructions over 1000 cycles) and resident block count.
+runner::SweepRow fake_row(const std::string& variant, const KernelInfo& kernel, double ipc,
+                          std::uint32_t blocks) {
+  runner::SweepRow row;
+  row.point.variant = variant;
+  row.point.kernel = kernel;
+  row.result.stats.cycles = 1000;
+  row.result.stats.sm_total.thread_instructions = static_cast<std::uint64_t>(ipc * 1000.0);
+  row.result.occupancy.total_blocks = blocks;
+  return row;
+}
+
+TEST(StudyAggregate, DetectsKnownPeaksAndMarginals) {
+  const StudyPlan plan = study::build_plan(tiny_grid(), "");
+  std::vector<runner::SweepRow> rows;
+  // regs=16 cell: flat at 100 — no gain, peak stays at the 0% baseline.
+  rows.push_back(fake_row("reg 0%", plan.cells[0].kernel, 100, 6));
+  rows.push_back(fake_row("reg 50%", plan.cells[0].kernel, 100, 6));
+  rows.push_back(fake_row("reg 90%", plan.cells[0].kernel, 100, 6));
+  // regs=44 cell: flat then +30% at 90% with two extra blocks.
+  rows.push_back(fake_row("reg 0%", plan.cells[1].kernel, 100, 2));
+  rows.push_back(fake_row("reg 50%", plan.cells[1].kernel, 100, 2));
+  rows.push_back(fake_row("reg 90%", plan.cells[1].kernel, 130, 4));
+
+  const StudyAggregation agg = study::aggregate(plan, runner::BenchView(rows));
+  const FamilyAggregation& fam = agg.registers;
+  ASSERT_EQ(fam.cells.size(), 2u);
+  EXPECT_EQ(fam.skipped, 0u);
+
+  EXPECT_DOUBLE_EQ(fam.cells[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(fam.cells[0].peak_percent, 0.0);
+  EXPECT_DOUBLE_EQ(fam.cells[1].speedup, 1.3);
+  EXPECT_DOUBLE_EQ(fam.cells[1].peak_percent, 90.0);
+  EXPECT_EQ(fam.cells[1].baseline_blocks, 2u);
+  EXPECT_EQ(fam.cells[1].peak_blocks, 4u);
+
+  // Marginals: one row per regs level, means over exactly one cell each.
+  ASSERT_EQ(fam.by_regs.size(), 2u);
+  EXPECT_EQ(fam.by_regs[0].level, "16");
+  EXPECT_DOUBLE_EQ(fam.by_regs[0].mean_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(fam.by_regs[1].mean_speedup, 1.3);
+  EXPECT_DOUBLE_EQ(fam.by_regs[1].mean_extra_blocks, 2.0);
+  EXPECT_DOUBLE_EQ(fam.by_regs[1].mean_peak_percent, 90.0);
+
+  // Peak histogram: one cell at 0%, one at 90%.
+  ASSERT_EQ(fam.peak_histogram.size(), 3u);
+  EXPECT_EQ(fam.peak_histogram[0], 1u);
+  EXPECT_EQ(fam.peak_histogram[1], 0u);
+  EXPECT_EQ(fam.peak_histogram[2], 1u);
+
+  // Surface: regs rows x one memory column.
+  ASSERT_EQ(fam.surface.size(), 2u);
+  ASSERT_EQ(fam.surface[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(fam.surface[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(fam.surface[1][0], 1.3);
+
+  // The scratchpad family has no applicable kernels at all.
+  EXPECT_TRUE(agg.scratchpad.cells.empty());
+  EXPECT_EQ(agg.scratchpad.skipped, 0u);
+}
+
+TEST(StudyAggregate, IncompleteSeriesAreSkippedNotInvented) {
+  const StudyPlan plan = study::build_plan(tiny_grid(), "");
+  std::vector<runner::SweepRow> rows;
+  rows.push_back(fake_row("reg 0%", plan.cells[0].kernel, 100, 6));  // 50%/90% missing
+  rows.push_back(fake_row("reg 0%", plan.cells[1].kernel, 100, 2));
+  rows.push_back(fake_row("reg 50%", plan.cells[1].kernel, 100, 2));
+  rows.push_back(fake_row("reg 90%", plan.cells[1].kernel, 130, 4));
+  const StudyAggregation agg = study::aggregate(plan, runner::BenchView(rows));
+  ASSERT_EQ(agg.registers.cells.size(), 1u);
+  EXPECT_EQ(agg.registers.cells[0].axes.regs_per_thread, 44u);
+  EXPECT_EQ(agg.registers.skipped, 1u);
+}
+
+TEST(StudyAggregate, TiesResolveToLowestPercent) {
+  const StudyPlan plan = study::build_plan(tiny_grid(), "");
+  std::vector<runner::SweepRow> rows;
+  for (const study::StudyCell& cell : plan.cells) {
+    rows.push_back(fake_row("reg 0%", cell.kernel, 100, 2));
+    rows.push_back(fake_row("reg 50%", cell.kernel, 120, 3));
+    rows.push_back(fake_row("reg 90%", cell.kernel, 120, 4));
+  }
+  const StudyAggregation agg = study::aggregate(plan, runner::BenchView(rows));
+  EXPECT_DOUBLE_EQ(agg.registers.cells[0].peak_percent, 50.0);
+  EXPECT_EQ(agg.registers.cells[0].peak_blocks, 3u);
+}
+
+// --- emitter goldens -------------------------------------------------------------
+
+StudyAggregation golden_aggregation() {
+  const StudyPlan plan = study::build_plan(tiny_grid(), "");
+  std::vector<runner::SweepRow> rows;
+  rows.push_back(fake_row("reg 0%", plan.cells[0].kernel, 100, 6));
+  rows.push_back(fake_row("reg 50%", plan.cells[0].kernel, 100, 6));
+  rows.push_back(fake_row("reg 90%", plan.cells[0].kernel, 100, 6));
+  rows.push_back(fake_row("reg 0%", plan.cells[1].kernel, 100, 2));
+  rows.push_back(fake_row("reg 50%", plan.cells[1].kernel, 100, 2));
+  rows.push_back(fake_row("reg 90%", plan.cells[1].kernel, 130, 4));
+  return study::aggregate(plan, runner::BenchView(rows));
+}
+
+TEST(StudyReport, FamilyCsvGolden) {
+  const StudyAggregation agg = golden_aggregation();
+  const std::string expected =
+      "kernel,regs_per_thread,staging_bytes,memory,lanes,percent,ipc,blocks,speedup_vs_0\n"
+      "gen-study-r16-sm0-m1-l32-1,16,0,medium,32,0,100.0000,6,1.0000\n"
+      "gen-study-r16-sm0-m1-l32-1,16,0,medium,32,50,100.0000,6,1.0000\n"
+      "gen-study-r16-sm0-m1-l32-1,16,0,medium,32,90,100.0000,6,1.0000\n"
+      "gen-study-r44-sm0-m1-l32-1,44,0,medium,32,0,100.0000,2,1.0000\n"
+      "gen-study-r44-sm0-m1-l32-1,44,0,medium,32,50,100.0000,2,1.0000\n"
+      "gen-study-r44-sm0-m1-l32-1,44,0,medium,32,90,130.0000,4,1.3000\n";
+  EXPECT_EQ(study::family_csv(agg.registers, agg.grid), expected);
+}
+
+TEST(StudyReport, FamilyMarkdownContainsTheStory) {
+  const StudyAggregation agg = golden_aggregation();
+  const std::string md = study::family_markdown(agg.registers, agg.grid);
+  EXPECT_NE(md.find("# Register-sharing study"), std::string::npos);
+  EXPECT_NE(md.find("**2 cells**"), std::string::npos);
+  // Peak histogram rows.
+  EXPECT_NE(md.find("| 0% | 1 |"), std::string::npos);
+  EXPECT_NE(md.find("| 90% | 1 |"), std::string::npos);
+  // Marginal row for the pressured level and the top-cells entry.
+  EXPECT_NE(md.find("| 44 | 1 | 1.30 | 1.30 | 90 | 2.0 |"), std::string::npos);
+  EXPECT_NE(md.find("| gen-study-r44-sm0-m1-l32-1 | 44 | 0 | medium | 32 |"),
+            std::string::npos);
+  EXPECT_NE(md.find("2→4"), std::string::npos);
+  // No skipped-cells warning on a complete run.
+  EXPECT_EQ(md.find("Warning"), std::string::npos);
+}
+
+TEST(StudyReport, IndexMarkdownTrendRows) {
+  const StudyAggregation agg = golden_aggregation();
+  const std::string md = study::index_markdown(agg);
+  EXPECT_NE(md.find("## Trend checks vs the paper"), std::string::npos);
+  EXPECT_NE(md.find("regs/thread 16 1.00 → 44 1.30"), std::string::npos);
+  // The only block-gaining cell is medium: conditional memory trend shows it.
+  EXPECT_NE(md.find("cells that gained blocks: medium 1.30"), std::string::npos);
+}
+
+TEST(StudyReport, WriteReportsIsRerunnableByteIdentically) {
+  const StudyAggregation agg = golden_aggregation();
+  const std::string dir = testing::TempDir() + "/grs_study_report_test";
+  const std::vector<std::string> names = study::write_reports(agg, dir);
+  ASSERT_EQ(names.size(), 7u);
+  std::vector<std::string> first;
+  for (const std::string& name : names) {
+    std::ifstream f(dir + "/" + name, std::ios::binary);
+    ASSERT_TRUE(f.good()) << name;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    first.push_back(ss.str());
+    EXPECT_FALSE(first.back().empty()) << name;
+  }
+  (void)study::write_reports(agg, dir);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::ifstream f(dir + "/" + names[i], std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    EXPECT_EQ(ss.str(), first[i]) << names[i];
+  }
+}
+
+// --- end-to-end determinism across worker counts ---------------------------------
+
+TEST(StudyDeterminism, ReportsAreByteIdenticalAcrossThreadCounts) {
+  StudyGrid g;
+  g.regs = {44};
+  g.staging = {0};
+  g.memory = {0};
+  g.lanes = {32};
+  g.percents = {0, 90};
+  g.seed = 1;
+  const StudyPlan plan = study::build_plan(g, "");
+  const runner::SweepSpec spec = study::to_sweep_spec(plan);
+  ASSERT_EQ(spec.size(), 2u);
+
+  std::string outputs[2];
+  for (unsigned threads = 1; threads <= 2; ++threads) {
+    runner::RunOptions options;
+    options.threads = threads;
+    const std::vector<runner::SweepRow> rows = runner::run_sweep(spec, options);
+    const StudyAggregation agg = study::aggregate(plan, runner::BenchView(rows));
+    outputs[threads - 1] = study::index_markdown(agg) +
+                           study::family_markdown(agg.registers, agg.grid) +
+                           study::family_csv(agg.registers, agg.grid) +
+                           study::corpus_markdown(agg) + study::corpus_csv(agg);
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  // A real simulation ran: the 90% column must differ structurally from a
+  // trivially-empty result (the cell gains blocks at this pressure).
+  EXPECT_NE(outputs[0].find("2→4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grs
