@@ -179,6 +179,13 @@ int main(int argc, char** argv) {
 
     runner::RunOptions options;
     options.threads = threads;
+    // The differential oracle must NEVER consult the result cache: a cached
+    // result would be served to both execution modes (or replay an old run)
+    // and mask exactly the cycle/event divergence this harness exists to
+    // catch. Forced off here — grs_fuzz deliberately has no --cache flag —
+    // and locked in by CacheTest.OffModeNeverConsultsTheStore.
+    options.cache_dir.clear();
+    options.cache_mode = cache::CacheMode::kOff;
     const std::vector<runner::SweepRow> rows = runner::run_sweep(spec, options);
     sims += rows.size();
 

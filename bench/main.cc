@@ -21,12 +21,16 @@
 #include <string>
 #include <vector>
 
+#include "runner/cli_options.h"
 #include "runner/registry.h"
 #include "runner/sink.h"
 
 using namespace grs;
 
 namespace {
+
+/// The shared flags this binary accepts (runner/cli_options.h).
+constexpr runner::CommonFlagSet kFlags{/*filter=*/true, /*json=*/true};
 
 [[noreturn]] void usage(const std::string& msg) {
   std::fprintf(stderr, "error: %s\n(grs_bench --help lists the flags; --list the benches)\n",
@@ -44,15 +48,9 @@ void print_help() {
       "\n"
       "  <bench...>|all    benches to run (see --list)\n"
       "  --list            list registered benches with descriptions and exit\n"
-      "  --threads N       worker threads (default: hardware concurrency);\n"
-      "                    results are byte-identical for any value\n"
-      "  --filter SUBSTR   only kernels whose name contains SUBSTR\n"
-      "                    (case-insensitive); benches with no per-kernel\n"
-      "                    simulation (fig1, hw_cost) print in full regardless\n"
+      "%s"
       "  --exec-mode M     force cycle | event on every sweep point (default:\n"
       "                    whatever the configs say — event); bit-identical stats\n"
-      "  --out FILE        write CSV rows of every sweep point to FILE\n"
-      "  --json FILE       write the same rows as a JSON array to FILE\n"
       "  --table           also print the generic per-sweep console table\n"
       "  --quiet           skip the paper-shaped presenters (sinks still run;\n"
       "                    note: the study bench writes its reports from its\n"
@@ -61,7 +59,8 @@ void print_help() {
       "\n"
       "The study bench writes docs/study/ reports; override the directory with\n"
       "GRS_STUDY_DIR. The corpus bench reads examples/kernels/; override with\n"
-      "GRS_CORPUS_DIR.\n");
+      "GRS_CORPUS_DIR.\n",
+      runner::common_options_help(kFlags).c_str());
 }
 
 void list_benches() {
@@ -73,47 +72,45 @@ void list_benches() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> selected;
-  std::string filter, out_csv, out_json;
-  unsigned threads = 0;
+  runner::CommonOptions opts;
   bool table = false, quiet = false;
   bool exec_mode_set = false;
   ExecMode exec_mode = ExecMode::kEvent;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage("missing value for " + a);
-      return argv[++i];
-    };
-    if (a == "--help" || a == "-h") {
-      print_help();
-      return 0;
-    } else if (a == "--list") {
-      list_benches();
-      return 0;
-    } else if (a == "--threads") {
-      threads = static_cast<unsigned>(std::atoi(next().c_str()));
-    } else if (a == "--filter") {
-      filter = next();
-    } else if (a == "--exec-mode") {
-      const std::string m = next();
-      if (m == "cycle") exec_mode = ExecMode::kCycle;
-      else if (m == "event") exec_mode = ExecMode::kEvent;
-      else usage("unknown --exec-mode (cycle | event)");
-      exec_mode_set = true;
-    } else if (a == "--out") {
-      out_csv = next();
-    } else if (a == "--json") {
-      out_json = next();
-    } else if (a == "--table") {
-      table = true;
-    } else if (a == "--quiet") {
-      quiet = true;
-    } else if (!a.empty() && a[0] == '-') {
-      usage("unknown flag " + a);
-    } else {
-      selected.push_back(a);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage("missing value for " + a);
+        return argv[++i];
+      };
+      if (parse_common_flag(opts, kFlags, a, next)) {
+        continue;
+      } else if (a == "--help" || a == "-h") {
+        print_help();
+        return 0;
+      } else if (a == "--list") {
+        list_benches();
+        return 0;
+      } else if (a == "--exec-mode") {
+        const std::string m = next();
+        if (m == "cycle") exec_mode = ExecMode::kCycle;
+        else if (m == "event") exec_mode = ExecMode::kEvent;
+        else usage("unknown --exec-mode (cycle | event)");
+        exec_mode_set = true;
+      } else if (a == "--table") {
+        table = true;
+      } else if (a == "--quiet") {
+        quiet = true;
+      } else if (!a.empty() && a[0] == '-') {
+        usage("unknown flag " + a);
+      } else {
+        selected.push_back(a);
+      }
     }
+    opts.finalize();
+  } catch (const runner::UsageError& e) {
+    usage(e.what());
   }
 
   std::vector<const runner::BenchDef*> to_run;
@@ -132,29 +129,38 @@ int main(int argc, char** argv) {
 
   std::ofstream csv_file, json_file;
   std::vector<std::unique_ptr<runner::ResultSink>> sinks;
-  if (!out_csv.empty()) {
-    csv_file.open(out_csv);
-    if (!csv_file) usage("cannot open " + out_csv);
+  if (!opts.out_csv.empty()) {
+    csv_file.open(opts.out_csv);
+    if (!csv_file) usage("cannot open " + opts.out_csv);
     sinks.push_back(std::make_unique<runner::CsvSink>(csv_file));
   }
-  if (!out_json.empty()) {
-    json_file.open(out_json);
-    if (!json_file) usage("cannot open " + out_json);
+  if (!opts.out_json.empty()) {
+    json_file.open(opts.out_json);
+    if (!json_file) usage("cannot open " + opts.out_json);
     sinks.push_back(std::make_unique<runner::JsonSink>(json_file));
   }
   if (table) sinks.push_back(std::make_unique<runner::ConsoleTableSink>());
 
+  cache::CacheStats cache_total;
   for (auto& s : sinks) s->begin();
   for (const runner::BenchDef* b : to_run) {
     runner::SweepSpec spec = b->build();
-    spec.filter_kernels(filter);
+    spec.filter_kernels(opts.filter);
     if (exec_mode_set)
       for (runner::SweepPoint& p : spec.points) p.config.exec_mode = exec_mode;
 
-    runner::RunOptions options;
-    options.threads = threads;
+    const runner::RunOptions options = opts.run_options(&cache_total);
     const auto start = std::chrono::steady_clock::now();
-    const std::vector<runner::SweepRow> rows = runner::run_sweep(spec, options);
+    std::vector<runner::SweepRow> rows;
+    try {
+      rows = runner::run_sweep(spec, options);
+    } catch (const std::exception& e) {
+      // A cache-verify byte diff (or cache I/O failure) is a hard, diagnosed
+      // failure, not a crash.
+      std::fprintf(stderr, "error: %s bench: %s\n", b->name.c_str(), e.what());
+      for (auto& s : sinks) s->end();
+      return 2;
+    }
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     std::fprintf(stderr, "[grs_bench] %s: %zu points in %.2fs\n", b->name.c_str(),
@@ -175,5 +181,7 @@ int main(int argc, char** argv) {
     }
   }
   for (auto& s : sinks) s->end();
+  if (opts.cache_stats)
+    std::fprintf(stderr, "[grs_bench] cache: %s\n", cache_total.summary().c_str());
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "common/config.h"
 #include "common/parse.h"
 #include "gpu/simulator.h"
+#include "runner/cli_options.h"
 #include "runner/engine.h"
 #include "runner/kernel_source.h"
 #include "runner/sink.h"
@@ -33,6 +34,9 @@
 using namespace grs;
 
 namespace {
+
+/// The shared flags this binary accepts (runner/cli_options.h).
+constexpr runner::CommonFlagSet kFlags{/*filter=*/false, /*json=*/false};
 
 [[noreturn]] void usage(const std::string& msg) {
   std::fprintf(stderr, "error: %s\n(grs_cli --help lists the flags)\n", msg.c_str());
@@ -76,8 +80,8 @@ void print_help() {
       "  --grid N          override grid size (>= 1)\n"
       "  --compare         also run Unshared-LRR and print the delta\n"
       "  --exec-mode M     cycle | event (default event; bit-identical stats)\n"
-      "  --threads N       worker threads for --sweep / --study\n"
-      "  --out FILE        CSV output for --sweep\n");
+      "%s",
+      runner::common_options_help(kFlags).c_str());
 }
 
 SchedulerKind parse_sched(const std::string& s) {
@@ -119,7 +123,7 @@ double arg_double(const std::string& flag, const std::string& value) {
 int main(int argc, char** argv) {
   std::string kernel_spec = "hotspot";
   std::string share = "none";
-  std::string out_csv, dump_file, profile_name = "balanced";
+  std::string dump_file, profile_name = "balanced";
   bool profile_set = false;
   double t = 0.1;
   SchedulerKind sched = SchedulerKind::kLrr;
@@ -130,74 +134,78 @@ int main(int argc, char** argv) {
   std::string validate_file;
   std::uint64_t gen_seed = 0;
   std::uint32_t grid = 0;
-  unsigned threads = 0;
+  runner::CommonOptions opts;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage("missing value for " + a);
-      return argv[++i];
-    };
-    if (a == "--kernel") {
-      kernel_spec = next();
-      kernel_set = true;
-    } else if (a == "--load") {
-      kernel_spec = next();
-      load_set = true;
-    } else if (a == "--gen") {
-      gen_seed = arg_u64(a, next());
-      gen_set = true;
-    } else if (a == "--profile") {
-      profile_name = next();
-      profile_set = true;
-    } else if (a == "--import-trace") {
-      kernel_spec = next();
-      trace_set = true;
-    } else if (a == "--validate") {
-      validate_file = next();
-    } else if (a == "--dump") {
-      dump_file = next();
-    } else if (a == "--share") {
-      share = next();
-    } else if (a == "--t") {
-      t = arg_double(a, next());
-      if (!(t >= 0.001 && t <= 1.0)) usage("--t must be in [0.001, 1]");
-      t_set = true;
-    } else if (a == "--sched") {
-      sched = parse_sched(next());
-      sched_set = true;
-    } else if (a == "--exec-mode") {
-      exec_mode = parse_exec_mode(next());
-      exec_set = true;
-    } else if (a == "--unroll") {
-      unroll = true;
-    } else if (a == "--dyn") {
-      dyn = true;
-    } else if (a == "--grid") {
-      grid = arg_u32(a, next());
-      if (grid == 0) usage("--grid must be >= 1");
-    } else if (a == "--compare") {
-      compare = true;
-    } else if (a == "--sweep") {
-      sweep = true;
-    } else if (a == "--study") {
-      study = true;
-    } else if (a == "--threads") {
-      threads = arg_u32(a, next());
-    } else if (a == "--out") {
-      out_csv = next();
-    } else if (a == "--help" || a == "-h") {
-      print_help();
-      return 0;
-    } else if (a == "--list") {
-      for (const auto& n : workloads::all_names()) std::printf("%s\n", n.c_str());
-      return 0;
-    } else if (a == "--list-profiles") {
-      for (const auto& p : workloads::gen::all_profiles()) std::printf("%s\n", p.name.c_str());
-      return 0;
-    } else {
-      usage("unknown flag " + a);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage("missing value for " + a);
+        return argv[++i];
+      };
+      if (parse_common_flag(opts, kFlags, a, next)) {
+        continue;
+      } else if (a == "--kernel") {
+        kernel_spec = next();
+        kernel_set = true;
+      } else if (a == "--load") {
+        kernel_spec = next();
+        load_set = true;
+      } else if (a == "--gen") {
+        gen_seed = arg_u64(a, next());
+        gen_set = true;
+      } else if (a == "--profile") {
+        profile_name = next();
+        profile_set = true;
+      } else if (a == "--import-trace") {
+        kernel_spec = next();
+        trace_set = true;
+      } else if (a == "--validate") {
+        validate_file = next();
+      } else if (a == "--dump") {
+        dump_file = next();
+      } else if (a == "--share") {
+        share = next();
+      } else if (a == "--t") {
+        t = arg_double(a, next());
+        if (!(t >= 0.001 && t <= 1.0)) usage("--t must be in [0.001, 1]");
+        t_set = true;
+      } else if (a == "--sched") {
+        sched = parse_sched(next());
+        sched_set = true;
+      } else if (a == "--exec-mode") {
+        exec_mode = parse_exec_mode(next());
+        exec_set = true;
+      } else if (a == "--unroll") {
+        unroll = true;
+      } else if (a == "--dyn") {
+        dyn = true;
+      } else if (a == "--grid") {
+        grid = arg_u32(a, next());
+        if (grid == 0) usage("--grid must be >= 1");
+      } else if (a == "--compare") {
+        compare = true;
+      } else if (a == "--sweep") {
+        sweep = true;
+      } else if (a == "--study") {
+        study = true;
+      } else if (a == "--help" || a == "-h") {
+        print_help();
+        return 0;
+      } else if (a == "--list") {
+        for (const auto& n : workloads::all_names()) std::printf("%s\n", n.c_str());
+        return 0;
+      } else if (a == "--list-profiles") {
+        for (const auto& p : workloads::gen::all_profiles())
+          std::printf("%s\n", p.name.c_str());
+        return 0;
+      } else {
+        usage("unknown flag " + a);
+      }
     }
+    opts.finalize();
+  } catch (const runner::UsageError& e) {
+    usage(e.what());
   }
   if (static_cast<int>(kernel_set) + static_cast<int>(load_set) + static_cast<int>(gen_set) +
           static_cast<int>(trace_set) >
@@ -241,14 +249,17 @@ int main(int argc, char** argv) {
     // The study fixes its own kernels and configuration lines; reject every
     // flag it would otherwise silently ignore.
     if (kernel_set || load_set || gen_set || trace_set || sweep || compare || grid != 0 ||
-        !dump_file.empty() || !out_csv.empty() || share != "none" || sched_set || t_set ||
-        unroll || dyn || exec_set) {
+        !dump_file.empty() || !opts.out_csv.empty() || share != "none" || sched_set ||
+        t_set || unroll || dyn || exec_set) {
       usage("--study runs the full sharing study with its own kernels and configs; only "
-            "--threads applies");
+            "--threads and --cache/--cache-mode/--cache-stats apply");
     }
     try {
       study::StudyOptions options;
-      options.threads = threads;
+      options.threads = opts.threads;
+      options.cache_dir = opts.cache_dir;
+      options.cache_mode = opts.cache_dir.empty() ? cache::CacheMode::kOff : opts.cache_mode;
+      options.cache_stats = opts.cache_stats;
       study::run_study(options);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
@@ -301,6 +312,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  cache::CacheStats cache_total;
   if (sweep) {
     if (kernel_set || load_set || gen_set || trace_set || grid != 0 || compare)
       usage("--sweep runs every kernel; "
@@ -309,43 +321,64 @@ int main(int argc, char** argv) {
     for (const auto& name : workloads::all_names())
       spec.add(cfg.line_label(), cfg, workloads::by_name(name));
 
-    runner::RunOptions options;
-    options.threads = threads;
-    const auto rows = runner::run_sweep(spec, options);
+    std::vector<runner::SweepRow> rows;
+    try {
+      rows = runner::run_sweep(spec, opts.run_options(&cache_total));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
 
     runner::ConsoleTableSink console;
     console.begin();
     for (const auto& row : rows) console.add(cfg.line_label(), row);
     console.end();
 
-    if (!out_csv.empty()) {
-      std::ofstream f(out_csv);
-      if (!f) usage("cannot open " + out_csv);
+    if (!opts.out_csv.empty()) {
+      std::ofstream f(opts.out_csv);
+      if (!f) usage("cannot open " + opts.out_csv);
       runner::CsvSink csv(f);
       csv.begin();
       for (const auto& row : rows) csv.add(cfg.line_label(), row);
       csv.end();
-      std::printf("wrote %zu rows to %s\n", rows.size(), out_csv.c_str());
+      std::printf("wrote %zu rows to %s\n", rows.size(), opts.out_csv.c_str());
     }
+    if (opts.cache_stats)
+      std::fprintf(stderr, "[grs_cli] cache: %s\n", cache_total.summary().c_str());
     return 0;
   }
 
-  const SimResult r = simulate(cfg, kernel);
-  std::printf("%s on %s (%u blocks of %u threads)\n", cfg.line_label().c_str(),
-              kernel.name.c_str(), kernel.grid_blocks,
-              kernel.resources.threads_per_block);
-  std::printf("%s\n", r.stats.summary().c_str());
-  std::printf("occupancy: %u blocks/SM (baseline %u, limiter %s, U=%u, S=%u)\n",
-              r.occupancy.total_blocks, r.occupancy.baseline_blocks,
-              to_string(r.occupancy.limiter), r.occupancy.unshared_blocks,
-              r.occupancy.shared_pairs);
+  // Single runs go through the engine too, so --cache applies to the
+  // interactive dev loop exactly as it does to sweeps.
+  auto run_one = [&](const GpuConfig& c) -> SimResult {
+    runner::SweepSpec spec;
+    spec.add(c.line_label(), c, kernel);
+    return runner::run_sweep(spec, opts.run_options(&cache_total))[0].result;
+  };
 
-  if (compare) {
-    GpuConfig base_cfg = configs::unshared();
-    base_cfg.exec_mode = exec_mode;
-    const SimResult base = simulate(base_cfg, kernel);
-    std::printf("\nvs Unshared-LRR: IPC %.2f -> %.2f (%+.2f%%)\n", base.stats.ipc(),
-                r.stats.ipc(), percent_improvement(base.stats.ipc(), r.stats.ipc()));
+  try {
+    const SimResult r = run_one(cfg);
+    std::printf("%s on %s (%u blocks of %u threads)\n", cfg.line_label().c_str(),
+                kernel.name.c_str(), kernel.grid_blocks,
+                kernel.resources.threads_per_block);
+    std::printf("%s\n", r.stats.summary().c_str());
+    std::printf("occupancy: %u blocks/SM (baseline %u, limiter %s, U=%u, S=%u)\n",
+                r.occupancy.total_blocks, r.occupancy.baseline_blocks,
+                to_string(r.occupancy.limiter), r.occupancy.unshared_blocks,
+                r.occupancy.shared_pairs);
+
+    if (compare) {
+      GpuConfig base_cfg = configs::unshared();
+      base_cfg.exec_mode = exec_mode;
+      const SimResult base = run_one(base_cfg);
+      std::printf("\nvs Unshared-LRR: IPC %.2f -> %.2f (%+.2f%%)\n", base.stats.ipc(),
+                  r.stats.ipc(), percent_improvement(base.stats.ipc(), r.stats.ipc()));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   }
+  if (opts.cache_stats)
+    std::fprintf(stderr, "[grs_cli] cache: %s\n", cache_total.summary().c_str());
   return 0;
 }

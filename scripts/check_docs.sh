@@ -10,17 +10,36 @@
 #      docs, so the CLI surface and the documentation stay in sync.
 #
 # Usage: scripts/check_docs.sh  (from the repo root, after building ./build)
-# Override the binaries with GRS_BENCH / GRS_CLI.
+# Override the binaries with GRS_BENCH / GRS_CLI. The two study regenerations
+# share one content-addressed result cache (GRS_RESULT_CACHE_DIR, default
+# build/result-cache — CI persists it between runs): the first pass fills it,
+# the second must be served from lookups alone, re-proving both the engine's
+# thread-count determinism and that cached rows are byte-identical to
+# simulated ones. A final verify-mode pass re-simulates every warm entry and
+# fails on any byte diff against the store.
 set -euo pipefail
 
 BENCH=${GRS_BENCH:-build/grs_bench}
 CLI=${GRS_CLI:-build/grs_cli}
+CACHE_DIR=${GRS_RESULT_CACHE_DIR:-build/result-cache}
 fail=0
 
-# --- 1. docs/study regeneration ----------------------------------------------
+# --- 1. docs/study regeneration (cold then warm, one shared cache) -----------
 for threads in 1 8; do
   tmp=$(mktemp -d)
-  GRS_STUDY_DIR="$tmp" "$BENCH" study --threads "$threads" >/dev/null
+  stats=$(mktemp)
+  start=$(date +%s.%N)
+  GRS_STUDY_DIR="$tmp" "$BENCH" study --threads "$threads" \
+    --cache "$CACHE_DIR" --cache-stats >/dev/null 2>"$stats"
+  elapsed=$(date +%s.%N | awk -v s="$start" '{printf "%.2f", $1 - s}')
+  hits=$(grep -o '[0-9]* hits' "$stats" | awk '{print $1}' || echo 0)
+  echo "study --threads $threads: ${elapsed}s, $(grep 'cache:' "$stats" | sed 's/^.*cache: //')"
+  if [ "$threads" = 8 ] && [ "${hits:-0}" -eq 0 ]; then
+    echo "error: warm study pass reported 0 cache hits; the result cache is not" >&2
+    echo "       being consulted across regenerations" >&2
+    fail=1
+  fi
+  rm -f "$stats"
   if ! diff -ru docs/study "$tmp"; then
     echo "error: committed docs/study differs from a --threads $threads regeneration;" >&2
     echo "       run ./build/grs_bench study and commit the result" >&2
@@ -28,6 +47,16 @@ for threads in 1 8; do
   fi
   rm -rf "$tmp"
 done
+
+# --- 1b. verify mode over the whole warm store --------------------------------
+tmp=$(mktemp -d)
+if ! GRS_STUDY_DIR="$tmp" "$BENCH" study --threads 8 \
+    --cache "$CACHE_DIR" --cache-mode verify >/dev/null; then
+  echo "error: a cached study entry failed verify-mode re-simulation (byte diff" >&2
+  echo "       between the store and a fresh simulate()); delete $CACHE_DIR" >&2
+  fail=1
+fi
+rm -rf "$tmp"
 
 # --- 2. CLI flag drift --------------------------------------------------------
 cli_help=$("$CLI" --help)
@@ -66,5 +95,6 @@ done < <("$BENCH" --list)
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "docs are consistent: study pages regenerate byte-identically, no flag drift,"
+echo "docs are consistent: study pages regenerate byte-identically (cached store"
+echo "at $CACHE_DIR passes verify), no flag drift,"
 echo "all $("$BENCH" --list | wc -l) benches documented"

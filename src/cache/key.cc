@@ -1,0 +1,30 @@
+#include "cache/key.h"
+
+#include "common/hash.h"
+#include "gpu/result_codec.h"
+#include "workloads/format/gkd.h"
+
+namespace grs::cache {
+
+std::string schema_tag() {
+  return "v" + std::to_string(kSimSchemaVersion) + "-r" + std::to_string(kResultCodecVersion);
+}
+
+std::string kernel_fingerprint(const KernelInfo& kernel) {
+  return sha256_hex(workloads::gkd::serialize(kernel));
+}
+
+std::string result_cache_key(const GpuConfig& cfg, const KernelInfo& kernel) {
+  std::string material;
+  material.reserve(256);
+  material += "grs-result-cache ";
+  material += schema_tag();
+  material += "\nconfig ";
+  material += cfg.fingerprint();
+  material += "\nkernel ";
+  material += kernel_fingerprint(kernel);
+  material += '\n';
+  return sha256_hex(material);
+}
+
+}  // namespace grs::cache

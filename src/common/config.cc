@@ -1,8 +1,45 @@
 #include "common/config.h"
 
+#include <cstdio>
+
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace grs {
+
+namespace {
+
+/// Canonical scalar spellings for the kv codec. Doubles use %.17g, which
+/// round-trips every IEEE-754 binary64 value exactly and prints identically
+/// on every correctly-rounding libc.
+void kv(std::string& out, const char* key, std::uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %llu\n", key, static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void kv(std::string& out, const char* key, double v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s %.17g\n", key, v);
+  out += buf;
+}
+
+void kv(std::string& out, const char* key, const char* v) {
+  out += key;
+  out += ' ';
+  out += v;
+  out += '\n';
+}
+
+void kv_cache(std::string& out, const char* prefix, const CacheConfig& c) {
+  std::string p = prefix;
+  kv(out, (p + ".size_bytes").c_str(), std::uint64_t{c.size_bytes});
+  kv(out, (p + ".line_bytes").c_str(), std::uint64_t{c.line_bytes});
+  kv(out, (p + ".ways").c_str(), std::uint64_t{c.ways});
+  kv(out, (p + ".mshr_entries").c_str(), std::uint64_t{c.mshr_entries});
+}
+
+}  // namespace
 
 std::string GpuConfig::line_label() const {
   std::string s = sharing.enabled ? "Shared" : "Unshared";
@@ -14,6 +51,61 @@ std::string GpuConfig::line_label() const {
   }
   return s;
 }
+
+std::string GpuConfig::canonical_kv() const {
+  std::string out;
+  out.reserve(1024);
+  // Versioned header: bump when a field is added/removed/re-interpreted so
+  // old fingerprints can never alias new configurations.
+  out += "gpu_config 1\n";
+  // --- Table I ---------------------------------------------------------
+  kv(out, "num_sms", std::uint64_t{num_sms});
+  kv(out, "max_blocks_per_sm", std::uint64_t{max_blocks_per_sm});
+  kv(out, "max_threads_per_sm", std::uint64_t{max_threads_per_sm});
+  kv(out, "registers_per_sm", std::uint64_t{registers_per_sm});
+  kv(out, "scratchpad_per_sm", std::uint64_t{scratchpad_per_sm});
+  kv(out, "warp_size", std::uint64_t{warp_size});
+  kv(out, "num_schedulers", std::uint64_t{num_schedulers});
+  kv(out, "scheduler", to_string(scheduler));
+  kv_cache(out, "l1", l1);
+  kv_cache(out, "l2", l2);
+  kv(out, "dram.num_channels", std::uint64_t{dram.num_channels});
+  kv(out, "dram.banks_per_channel", std::uint64_t{dram.banks_per_channel});
+  kv(out, "dram.row_bytes", std::uint64_t{dram.row_bytes});
+  kv(out, "dram.row_hit_service", std::uint64_t{dram.row_hit_service});
+  kv(out, "dram.row_miss_service", std::uint64_t{dram.row_miss_service});
+  kv(out, "dram.base_latency", std::uint64_t{dram.base_latency});
+  kv(out, "dram.row_window", std::uint64_t{dram.row_window});
+  // --- Execution latencies ---------------------------------------------
+  kv(out, "alu_latency", std::uint64_t{alu_latency});
+  kv(out, "sfu_latency", std::uint64_t{sfu_latency});
+  kv(out, "scratchpad_latency", std::uint64_t{scratchpad_latency});
+  kv(out, "l1_hit_latency", std::uint64_t{l1_hit_latency});
+  kv(out, "l2_hit_latency", std::uint64_t{l2_hit_latency});
+  // --- Structural limits -----------------------------------------------
+  kv(out, "lsu_max_inflight", std::uint64_t{lsu_max_inflight});
+  kv(out, "sfu_issue_per_cycle", std::uint64_t{sfu_issue_per_cycle});
+  kv(out, "lsu_issue_per_cycle", std::uint64_t{lsu_issue_per_cycle});
+  kv(out, "two_level_group_size", std::uint64_t{two_level_group_size});
+  // --- Sharing ---------------------------------------------------------
+  kv(out, "sharing.enabled", std::uint64_t{sharing.enabled});
+  kv(out, "sharing.resource", to_string(sharing.resource));
+  kv(out, "sharing.threshold_t", sharing.threshold_t);
+  kv(out, "sharing.owf", std::uint64_t{sharing.owf});
+  kv(out, "sharing.unroll_registers", std::uint64_t{sharing.unroll_registers});
+  kv(out, "sharing.dynamic_warp_execution", std::uint64_t{sharing.dynamic_warp_execution});
+  kv(out, "sharing.dyn_period", std::uint64_t{sharing.dyn_period});
+  kv(out, "sharing.dyn_step", sharing.dyn_step);
+  // --- Run limits / loop strategy --------------------------------------
+  kv(out, "max_cycles", std::uint64_t{max_cycles});
+  // exec_mode participates even though both modes are (fuzz-)proven to
+  // produce bit-identical stats: the cache must never paper over the exact
+  // divergence the differential oracle exists to catch.
+  kv(out, "exec_mode", to_string(exec_mode));
+  return out;
+}
+
+std::string GpuConfig::fingerprint() const { return sha256_hex(canonical_kv()); }
 
 void GpuConfig::validate() const {
   GRS_CHECK(num_sms >= 1);

@@ -141,6 +141,18 @@ struct GpuConfig {
   /// e.g. "Shared-OWF-Unroll-Dyn" / "Unshared-LRR" (paper figure labels).
   [[nodiscard]] std::string line_label() const;
 
+  /// Canonical key/value serialization: every configuration field, one
+  /// "key value\n" line each, in a fixed order, behind a versioned header.
+  /// Two configs produce the same text iff they would drive simulate()
+  /// identically; this text is what fingerprint() hashes. Adding a field to
+  /// GpuConfig (or its nested structs) without extending this codec fails the
+  /// coverage guard in tests/test_cache.cc.
+  [[nodiscard]] std::string canonical_kv() const;
+
+  /// Lowercase SHA-256 hex digest of canonical_kv() — the config half of the
+  /// content-addressed result-cache key (src/cache/key.h).
+  [[nodiscard]] std::string fingerprint() const;
+
   /// Abort-with-message validation of internal consistency.
   void validate() const;
 };

@@ -1,0 +1,17 @@
+// SHA-256 — the content hash behind every cache fingerprint.
+//
+// Self-contained (FIPS 180-4, no external dependency) and deterministic
+// across platforms, so a fingerprint computed on one machine addresses the
+// same cache entry on any other. Used by GpuConfig::fingerprint() and the
+// result cache's kernel/config keys (src/cache/key.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grs {
+
+/// Lowercase 64-hex-digit SHA-256 digest of `data`.
+[[nodiscard]] std::string sha256_hex(const std::string& data);
+
+}  // namespace grs

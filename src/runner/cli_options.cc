@@ -1,0 +1,89 @@
+#include "runner/cli_options.h"
+
+#include "common/parse.h"
+
+namespace grs::runner {
+
+void CommonOptions::finalize() const {
+  if (cache_mode_set && cache_dir.empty())
+    throw UsageError("--cache-mode only applies together with --cache DIR");
+  if (cache_stats && cache_dir.empty())
+    throw UsageError("--cache-stats only applies together with --cache DIR");
+}
+
+RunOptions CommonOptions::run_options(cache::CacheStats* stats_out) const {
+  RunOptions run;
+  run.threads = threads;
+  run.cache_dir = cache_dir;
+  run.cache_mode = cache_dir.empty() ? cache::CacheMode::kOff : cache_mode;
+  run.cache_stats = stats_out;
+  return run;
+}
+
+bool parse_common_flag(CommonOptions& opts, const CommonFlagSet& set, const std::string& arg,
+                       const std::function<std::string()>& next) {
+  if (arg == "--threads") {
+    const std::string value = next();
+    const auto v = parse_u32(value);
+    if (!v.has_value())
+      throw UsageError("--threads expects a non-negative integer, got '" + value + "'");
+    opts.threads = *v;
+    return true;
+  }
+  if (set.filter && arg == "--filter") {
+    opts.filter = next();
+    return true;
+  }
+  if (arg == "--out") {
+    opts.out_csv = next();
+    return true;
+  }
+  if (set.json && arg == "--json") {
+    opts.out_json = next();
+    return true;
+  }
+  if (arg == "--cache") {
+    opts.cache_dir = next();
+    if (opts.cache_dir.empty()) throw UsageError("--cache expects a directory");
+    return true;
+  }
+  if (arg == "--cache-mode") {
+    const std::string value = next();
+    const auto m = cache::parse_cache_mode(value);
+    if (!m.has_value())
+      throw UsageError("unknown --cache-mode '" + value + "' (off | read | readwrite | verify)");
+    opts.cache_mode = *m;
+    opts.cache_mode_set = true;
+    return true;
+  }
+  if (arg == "--cache-stats") {
+    opts.cache_stats = true;
+    return true;
+  }
+  return false;
+}
+
+std::string common_options_help(const CommonFlagSet& set) {
+  std::string out;
+  out +=
+      "  --threads N       worker threads (default: hardware concurrency);\n"
+      "                    results are byte-identical for any value\n";
+  if (set.filter)
+    out +=
+        "  --filter SUBSTR   only kernels whose name contains SUBSTR\n"
+        "                    (case-insensitive); benches with no per-kernel\n"
+        "                    simulation (fig1, hw_cost) print in full regardless\n";
+  out += "  --out FILE        write CSV rows of every sweep point to FILE\n";
+  if (set.json)
+    out += "  --json FILE       write the same rows as a JSON array to FILE\n";
+  out +=
+      "  --cache DIR       content-addressed result cache under DIR: sweep\n"
+      "                    points are keyed on hash(kernel, config, schema)\n"
+      "                    and reused across runs (docs/result-cache.md)\n"
+      "  --cache-mode M    off | read | readwrite | verify (default readwrite;\n"
+      "                    verify re-simulates hits and fails on any byte diff)\n"
+      "  --cache-stats     print cache hit/miss/bytes counters to stderr\n";
+  return out;
+}
+
+}  // namespace grs::runner

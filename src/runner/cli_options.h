@@ -1,0 +1,79 @@
+// Shared CLI option surface for the sweep-running frontends (grs_cli,
+// grs_bench): one strict parser and one --help text source for the engine
+// options they have in common — --threads/--filter/--out/--json and the
+// result-cache family --cache/--cache-mode/--cache-stats — so the
+// scripts/check_docs.sh flag-drift check has a single origin and the two
+// binaries can never disagree on spelling, validation, or semantics.
+//
+//   CommonOptions opts;
+//   for (each arg) {
+//     if (parse_common_flag(opts, kFlags, arg, next)) continue;  // consumed
+//     ...binary-specific flags...
+//   }
+//   opts.finalize();                       // cross-flag validation
+//   RunOptions run = opts.run_options(&cache_stats);
+//
+// Malformed values and inconsistent combinations throw UsageError; frontends
+// catch it and exit through their own usage() path.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "cache/result_cache.h"
+#include "runner/engine.h"
+
+namespace grs::runner {
+
+/// A bad flag value or combination; what() is the user-facing message.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Which of the shared flags a binary accepts (--threads/--out and the
+/// --cache family are universal).
+struct CommonFlagSet {
+  bool filter = false;
+  bool json = false;
+};
+
+/// Parsed values of the shared flags.
+struct CommonOptions {
+  unsigned threads = 0;     ///< --threads (0 = hardware concurrency)
+  std::string filter;       ///< --filter substring (when the set allows it)
+  std::string out_csv;      ///< --out FILE
+  std::string out_json;     ///< --json FILE (when the set allows it)
+  std::string cache_dir;    ///< --cache DIR ("" = caching off)
+  cache::CacheMode cache_mode = cache::CacheMode::kReadWrite;  ///< --cache-mode
+  bool cache_mode_set = false;
+  bool cache_stats = false;  ///< --cache-stats
+
+  /// True when sweeps should consult the store.
+  [[nodiscard]] bool cache_enabled() const {
+    return !cache_dir.empty() && cache_mode != cache::CacheMode::kOff;
+  }
+
+  /// Cross-flag validation (call once after the argv loop): --cache-mode and
+  /// --cache-stats require --cache. Throws UsageError.
+  void finalize() const;
+
+  /// Engine options carrying the threads + cache settings; `stats_out` (may
+  /// be null) receives accumulated cache counters across run_sweep calls.
+  [[nodiscard]] RunOptions run_options(cache::CacheStats* stats_out = nullptr) const;
+};
+
+/// Consume `arg` if it is one of the shared flags accepted by `set`; `next`
+/// yields the following argv entry (and may itself throw/exit when absent).
+/// Returns false when the flag is not one of ours. Strict values: numbers
+/// must parse in full and in range (UsageError otherwise, never atoi-zero).
+[[nodiscard]] bool parse_common_flag(CommonOptions& opts, const CommonFlagSet& set,
+                                     const std::string& arg,
+                                     const std::function<std::string()>& next);
+
+/// The --help lines for the shared flags accepted by `set` (trailing
+/// newline included) — the single help-text source both binaries print.
+[[nodiscard]] std::string common_options_help(const CommonFlagSet& set);
+
+}  // namespace grs::runner

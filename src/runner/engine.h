@@ -8,8 +8,10 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "gpu/simulator.h"
 #include "runner/sweep.h"
 
@@ -29,6 +31,20 @@ struct RunOptions {
   /// Optional progress callback, invoked from worker threads (internally
   /// serialized) after each point completes as (done, total).
   std::function<void(std::size_t, std::size_t)> progress;
+
+  /// Content-addressed result cache (src/cache). Caching is active only when
+  /// `cache_dir` is non-empty AND `cache_mode` is not kOff; every point is
+  /// then keyed on cache::result_cache_key(config, kernel) and looked up
+  /// before simulating. kVerify re-simulates every hit and throws
+  /// std::runtime_error (from run_sweep) on any byte difference from the
+  /// stored payload. Rows produced from cache hits are byte-identical to
+  /// freshly simulated ones.
+  std::string cache_dir;
+  cache::CacheMode cache_mode = cache::CacheMode::kOff;
+
+  /// When non-null, this run's cache counters are accumulated (+=) into it
+  /// after the sweep completes.
+  cache::CacheStats* cache_stats = nullptr;
 };
 
 /// Run every point of `spec`. Returns one row per point, in spec order.

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "gpu/result_codec.h"
 
 namespace grs::runner {
 
@@ -12,12 +13,6 @@ namespace {
 std::string u64(std::uint64_t v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-  return buf;
-}
-
-std::string f6(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6f", v);
   return buf;
 }
 
@@ -55,46 +50,29 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+// The numeric tail of the flat row is no longer hand-maintained here: it is
+// the `flat`-flagged subset of the SimResult codec enumeration
+// (gpu/result_codec.h), in enumeration order — one schema shared with the
+// result cache. Only the identifying string columns (and the kernel's grid
+// size, which lives on the sweep point, not the result) are sink-specific.
+
 const std::vector<std::string>& result_columns() {
-  static const std::vector<std::string> columns = {
-      "bench",         "variant",         "kernel",
-      "set",           "grid_blocks",     "blocks_per_sm",
-      "baseline_blocks", "shared_pairs",  "cycles",
-      "ipc",           "warp_ipc",        "issued_cycles",
-      "stall_cycles",  "idle_cycles",     "warp_instructions",
-      "thread_instructions", "l1_miss_rate", "l2_miss_rate",
-      "dram_requests", "lock_acquisitions", "lock_wait_cycles",
-      "dyn_throttled_issues"};
+  static const std::vector<std::string> columns = [] {
+    std::vector<std::string> c = {"bench", "variant", "kernel", "set", "grid_blocks"};
+    for (const ResultField& f : result_fields())
+      if (f.flat) c.emplace_back(f.name);
+    return c;
+  }();
   return columns;
 }
 
 std::vector<std::string> result_cells(const std::string& bench, const SweepRow& row) {
-  const SimResult& r = row.result;
-  const SmStats& sm = r.stats.sm_total;
-  return {
-      bench,
-      row.point.variant,
-      row.point.kernel.name,
-      row.point.kernel.set,
-      u64(row.point.kernel.grid_blocks),
-      u64(r.occupancy.total_blocks),
-      u64(r.occupancy.baseline_blocks),
-      u64(r.occupancy.shared_pairs),
-      u64(r.stats.cycles),
-      f6(r.stats.ipc()),
-      f6(r.stats.warp_ipc()),
-      u64(sm.issued_cycles),
-      u64(sm.stall_cycles),
-      u64(sm.idle_cycles),
-      u64(sm.warp_instructions),
-      u64(sm.thread_instructions),
-      f6(r.stats.l1_miss_rate()),
-      f6(r.stats.l2_miss_rate()),
-      u64(r.stats.dram_requests),
-      u64(sm.lock_acquisitions),
-      u64(sm.lock_wait_cycles),
-      u64(sm.dyn_throttled_issues),
-  };
+  std::vector<std::string> cells = {bench, row.point.variant, row.point.kernel.name,
+                                    row.point.kernel.set, u64(row.point.kernel.grid_blocks)};
+  cells.reserve(result_columns().size());
+  for (const ResultField& f : result_fields())
+    if (f.flat) cells.push_back(format_result_field(f, row.result));
+  return cells;
 }
 
 void CsvSink::begin() {

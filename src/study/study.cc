@@ -51,7 +51,13 @@ void present_study(const runner::BenchView& view, const std::string& dir) {
 void run_study(const StudyOptions& options) {
   runner::RunOptions run;
   run.threads = options.threads;
+  run.cache_dir = options.cache_dir;
+  run.cache_mode = options.cache_mode;
+  cache::CacheStats cache_total;
+  run.cache_stats = &cache_total;
   const std::vector<runner::SweepRow> rows = runner::run_sweep(build_study_spec(), run);
+  if (options.cache_stats)
+    std::fprintf(stderr, "[grs_cli] cache: %s\n", cache_total.summary().c_str());
   present_study(runner::BenchView(rows), default_report_dir());
 }
 

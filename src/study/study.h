@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "cache/result_cache.h"
 #include "runner/registry.h"
 #include "runner/sweep.h"
 
@@ -31,6 +32,13 @@ void present_study(const runner::BenchView& view, const std::string& dir);
 
 struct StudyOptions {
   unsigned threads = 0;
+
+  /// Content-addressed result cache for the sweep (see runner::RunOptions);
+  /// off when `cache_dir` is empty. With a warm cache the full study
+  /// regenerates from lookups alone.
+  std::string cache_dir;
+  cache::CacheMode cache_mode = cache::CacheMode::kOff;
+  bool cache_stats = false;  ///< print hit/miss counters to stderr afterwards
 };
 
 /// One-shot: build, run, aggregate, write into default_report_dir() (the

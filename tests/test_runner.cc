@@ -21,6 +21,13 @@
 namespace grs::runner {
 namespace {
 
+/// RunOptions with just a worker count (cache off, no progress callback).
+RunOptions with_threads(unsigned n) {
+  RunOptions o;
+  o.threads = n;
+  return o;
+}
+
 /// A small but non-trivial grid: 2 variants x 3 kernels, shrunk so one point
 /// simulates in milliseconds.
 SweepSpec tiny_spec() {
@@ -146,7 +153,7 @@ TEST(SweepSpec, FilterIsCaseInsensitiveSubstring) {
 // --- engine -------------------------------------------------------------------
 
 TEST(Engine, EmptySweepIsGracefullyEmpty) {
-  const std::vector<SweepRow> rows = run_sweep(SweepSpec{}, {8, nullptr});
+  const std::vector<SweepRow> rows = run_sweep(SweepSpec{}, with_threads(8));
   EXPECT_TRUE(rows.empty());
 
   // Sinks stay well-formed with zero rows.
@@ -165,7 +172,7 @@ TEST(Engine, EmptySweepIsGracefullyEmpty) {
 
 TEST(Engine, ResultsArriveInSubmissionOrder) {
   const SweepSpec spec = tiny_spec();
-  const std::vector<SweepRow> rows = run_sweep(spec, {4, nullptr});
+  const std::vector<SweepRow> rows = run_sweep(spec, with_threads(4));
   ASSERT_EQ(rows.size(), spec.size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     EXPECT_EQ(rows[i].point.variant, spec.points[i].variant);
@@ -176,9 +183,9 @@ TEST(Engine, ResultsArriveInSubmissionOrder) {
 
 TEST(Engine, ByteIdenticalAcrossThreadCounts) {
   const SweepSpec spec = tiny_spec();
-  const std::string csv1 = csv_of(run_sweep(spec, {1, nullptr}));
-  const std::string csv4 = csv_of(run_sweep(spec, {4, nullptr}));
-  const std::string csv8 = csv_of(run_sweep(spec, {8, nullptr}));
+  const std::string csv1 = csv_of(run_sweep(spec, with_threads(1)));
+  const std::string csv4 = csv_of(run_sweep(spec, with_threads(4)));
+  const std::string csv8 = csv_of(run_sweep(spec, with_threads(8)));
   EXPECT_EQ(csv1, csv4);
   EXPECT_EQ(csv1, csv8);
 }
@@ -202,7 +209,7 @@ TEST(Engine, ProgressReachesTotal) {
 // --- sinks --------------------------------------------------------------------
 
 TEST(Sinks, CsvIsRectangular) {
-  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), {2, nullptr});
+  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), with_threads(2));
   const std::string csv = csv_of(rows);
   EXPECT_EQ(csv.find('"'), std::string::npos);  // nothing needed quoting
   const std::vector<std::string> lines = split_lines(csv);
@@ -212,7 +219,7 @@ TEST(Sinks, CsvIsRectangular) {
 }
 
 TEST(Sinks, JsonIsStructurallySound) {
-  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), {2, nullptr});
+  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), with_threads(2));
   std::ostringstream out;
   JsonSink sink(out);
   sink.begin();
@@ -244,7 +251,7 @@ TEST(Sinks, JsonIsStructurallySound) {
 }
 
 TEST(Sinks, CellsMatchColumns) {
-  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), {2, nullptr});
+  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), with_threads(2));
   ASSERT_FALSE(rows.empty());
   const auto cells = result_cells("tiny", rows[0]);
   EXPECT_EQ(cells.size(), result_columns().size());
@@ -271,7 +278,7 @@ TEST(Registry, RegisterFindAndSortedListing) {
 }
 
 TEST(Registry, BenchViewFindAndKernelOrder) {
-  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), {2, nullptr});
+  const std::vector<SweepRow> rows = run_sweep(tiny_spec(), with_threads(2));
   const BenchView view(rows);
   const std::vector<std::string> kernels = view.kernels();
   ASSERT_EQ(kernels.size(), 3u);
