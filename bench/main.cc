@@ -13,7 +13,6 @@
 // `grs_bench fig8 > fig8.txt` matches the output of the old serial driver
 // byte for byte.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,9 +20,13 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "runner/cli_options.h"
+#include "runner/manifest.h"
+#include "runner/progress.h"
 #include "runner/registry.h"
 #include "runner/sink.h"
+#include "runner/thread_pool.h"
 
 using namespace grs;
 
@@ -51,6 +54,8 @@ void print_help() {
       "%s"
       "  --exec-mode M     force cycle | event on every sweep point (default:\n"
       "                    whatever the configs say — event); bit-identical stats\n"
+      "  --progress        live stderr ticker (cells done/total, sims/s, ETA);\n"
+      "                    stderr only, never interleaved with stdout results\n"
       "  --table           also print the generic per-sweep console table\n"
       "  --quiet           skip the paper-shaped presenters (sinks still run;\n"
       "                    note: the study bench writes its reports from its\n"
@@ -73,7 +78,7 @@ void list_benches() {
 int main(int argc, char** argv) {
   std::vector<std::string> selected;
   runner::CommonOptions opts;
-  bool table = false, quiet = false;
+  bool table = false, quiet = false, progress = false;
   bool exec_mode_set = false;
   ExecMode exec_mode = ExecMode::kEvent;
 
@@ -98,6 +103,8 @@ int main(int argc, char** argv) {
         else if (m == "event") exec_mode = ExecMode::kEvent;
         else usage("unknown --exec-mode (cycle | event)");
         exec_mode_set = true;
+      } else if (a == "--progress") {
+        progress = true;
       } else if (a == "--table") {
         table = true;
       } else if (a == "--quiet") {
@@ -127,6 +134,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Per-point trace/timeline files are derived from one base path; with
+  // several benches the later ones would silently overwrite the earlier.
+  if (opts.obs_enabled() && to_run.size() > 1)
+    usage("--trace/--timeline apply to a single bench (got " +
+          std::to_string(to_run.size()) + "); run benches separately");
+
   std::ofstream csv_file, json_file;
   std::vector<std::unique_ptr<runner::ResultSink>> sinks;
   if (!opts.out_csv.empty()) {
@@ -142,6 +155,7 @@ int main(int argc, char** argv) {
   if (table) sinks.push_back(std::make_unique<runner::ConsoleTableSink>());
 
   cache::CacheStats cache_total;
+  runner::RunManifest manifest("grs_bench");
   for (auto& s : sinks) s->begin();
   for (const runner::BenchDef* b : to_run) {
     runner::SweepSpec spec = b->build();
@@ -149,22 +163,36 @@ int main(int argc, char** argv) {
     if (exec_mode_set)
       for (runner::SweepPoint& p : spec.points) p.config.exec_mode = exec_mode;
 
-    const runner::RunOptions options = opts.run_options(&cache_total);
-    const auto start = std::chrono::steady_clock::now();
+    runner::RunOptions options = opts.run_options(&cache_total);
+    runner::ProgressTicker ticker("[grs_bench]");
+    if (progress)
+      options.progress = [&ticker](std::size_t done, std::size_t total) {
+        ticker.update(done, total);
+      };
+    const WallTimer timer;
     std::vector<runner::SweepRow> rows;
     try {
       rows = runner::run_sweep(spec, options);
     } catch (const std::exception& e) {
-      // A cache-verify byte diff (or cache I/O failure) is a hard, diagnosed
-      // failure, not a crash.
+      // A cache-verify byte diff (or cache/obs I/O failure) is a hard,
+      // diagnosed failure, not a crash.
+      ticker.finish();
       std::fprintf(stderr, "error: %s bench: %s\n", b->name.c_str(), e.what());
       for (auto& s : sinks) s->end();
       return 2;
     }
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const double secs = timer.seconds();
+    ticker.finish();
     std::fprintf(stderr, "[grs_bench] %s: %zu points in %.2fs\n", b->name.c_str(),
                  rows.size(), secs);
+    if (!opts.manifest_path.empty()) {
+      const unsigned threads = opts.threads == 0 ? runner::ThreadPool::default_threads()
+                                                 : opts.threads;
+      manifest.add_sweep(
+          b->name, rows, secs,
+          static_cast<unsigned>(std::min<std::size_t>(threads, std::max<std::size_t>(
+                                                                   rows.size(), 1))));
+    }
 
     for (const runner::SweepRow& row : rows)
       for (auto& s : sinks) s->add(b->name, row);
@@ -181,7 +209,18 @@ int main(int argc, char** argv) {
     }
   }
   for (auto& s : sinks) s->end();
-  if (opts.cache_stats)
+  // Cache-enabled runs always get the summary line (--cache-stats is kept as
+  // an accepted no-op for older scripts).
+  if (opts.cache_enabled())
     std::fprintf(stderr, "[grs_bench] cache: %s\n", cache_total.summary().c_str());
+  if (!opts.manifest_path.empty()) {
+    if (opts.cache_enabled()) manifest.set_cache_stats(cache_total);
+    try {
+      manifest.write(opts.manifest_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
   return 0;
 }

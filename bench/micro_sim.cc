@@ -10,6 +10,8 @@
 #include "isa/builder.h"
 #include "memory/cache.h"
 #include "memory/dram.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "workloads/suites.h"
 
 namespace grs {
@@ -107,6 +109,37 @@ void BM_ExecModeHotspot(benchmark::State& state) {
   state.SetLabel(to_string(cfg.exec_mode));
 }
 BENCHMARK(BM_ExecModeHotspot)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Observability tax. BM_TraceOff is the zero-cost-when-off guard: the
+/// 3-argument simulate() with a null observer must match plain simulate()
+/// (compare against BM_EndToEndSim). BM_TraceOn measures full event tracing
+/// into a counting sink — the opt-in price of --trace.
+void BM_TraceOff(benchmark::State& state) {
+  KernelInfo k = workloads::hotspot();
+  k.grid_blocks = 42;
+  const GpuConfig cfg = configs::shared_owf_unroll_dyn(Resource::kRegisters);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(cfg, k, nullptr).stats.cycles);
+  }
+}
+BENCHMARK(BM_TraceOff)->Unit(benchmark::kMillisecond);
+
+void BM_TraceOn(benchmark::State& state) {
+  KernelInfo k = workloads::hotspot();
+  k.grid_blocks = 42;
+  const GpuConfig cfg = configs::shared_owf_unroll_dyn(Resource::kRegisters);
+  obs::ObsOptions opts;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    obs::NullTraceSink sink;
+    obs::SimObserver observer(opts, &sink);
+    benchmark::DoNotOptimize(simulate(cfg, k, &observer).stats.cycles);
+    events += sink.events();
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceOn)->Unit(benchmark::kMillisecond);
 
 void BM_ExecModeBtree(benchmark::State& state) {
   KernelInfo k = workloads::btree();

@@ -10,6 +10,7 @@
 //
 // `grs_cli --help` documents every flag (print_help() below is the single
 // source of truth; scripts/check_docs.sh keeps the docs in sync with it).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,13 +18,16 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/config.h"
 #include "common/parse.h"
 #include "gpu/simulator.h"
 #include "runner/cli_options.h"
 #include "runner/engine.h"
 #include "runner/kernel_source.h"
+#include "runner/manifest.h"
 #include "runner/sink.h"
+#include "runner/thread_pool.h"
 #include "study/study.h"
 #include "workloads/format/gkd.h"
 #include "workloads/gen/generator.h"
@@ -250,9 +254,11 @@ int main(int argc, char** argv) {
     // flag it would otherwise silently ignore.
     if (kernel_set || load_set || gen_set || trace_set || sweep || compare || grid != 0 ||
         !dump_file.empty() || !opts.out_csv.empty() || share != "none" || sched_set ||
-        t_set || unroll || dyn || exec_set) {
+        t_set || unroll || dyn || exec_set || opts.obs_enabled() ||
+        !opts.manifest_path.empty()) {
       usage("--study runs the full sharing study with its own kernels and configs; only "
-            "--threads and --cache/--cache-mode/--cache-stats apply");
+            "--threads and --cache/--cache-mode/--cache-stats apply "
+            "(use grs_bench for --trace/--timeline/--manifest)");
     }
     try {
       study::StudyOptions options;
@@ -313,6 +319,29 @@ int main(int argc, char** argv) {
   }
 
   cache::CacheStats cache_total;
+  runner::RunManifest manifest("grs_cli");
+  // Shared tail of every simulating path: cache summary on stderr whenever the
+  // cache was in play, then the --manifest telemetry file.
+  auto finish_run = [&]() -> int {
+    if (opts.cache_enabled())
+      std::fprintf(stderr, "[grs_cli] cache: %s\n", cache_total.summary().c_str());
+    if (!opts.manifest_path.empty()) {
+      if (opts.cache_enabled()) manifest.set_cache_stats(cache_total);
+      try {
+        manifest.write(opts.manifest_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    }
+    return 0;
+  };
+  auto threads_used = [&](std::size_t points) {
+    const unsigned t =
+        opts.threads == 0 ? runner::ThreadPool::default_threads() : opts.threads;
+    return static_cast<unsigned>(std::min<std::size_t>(t, std::max<std::size_t>(points, 1)));
+  };
+
   if (sweep) {
     if (kernel_set || load_set || gen_set || trace_set || grid != 0 || compare)
       usage("--sweep runs every kernel; "
@@ -321,6 +350,7 @@ int main(int argc, char** argv) {
     for (const auto& name : workloads::all_names())
       spec.add(cfg.line_label(), cfg, workloads::by_name(name));
 
+    const WallTimer timer;
     std::vector<runner::SweepRow> rows;
     try {
       rows = runner::run_sweep(spec, opts.run_options(&cache_total));
@@ -328,6 +358,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
     }
+    if (!opts.manifest_path.empty())
+      manifest.add_sweep("sweep", rows, timer.seconds(), threads_used(rows.size()));
 
     runner::ConsoleTableSink console;
     console.begin();
@@ -343,17 +375,25 @@ int main(int argc, char** argv) {
       csv.end();
       std::printf("wrote %zu rows to %s\n", rows.size(), opts.out_csv.c_str());
     }
-    if (opts.cache_stats)
-      std::fprintf(stderr, "[grs_cli] cache: %s\n", cache_total.summary().c_str());
-    return 0;
+    return finish_run();
   }
 
-  // Single runs go through the engine too, so --cache applies to the
-  // interactive dev loop exactly as it does to sweeps.
+  // The two --compare runs would write to the same --trace/--timeline paths,
+  // the second silently clobbering the first.
+  if (compare && opts.obs_enabled())
+    usage("--compare with --trace/--timeline would overwrite the first run's files; "
+          "trace the two configurations separately");
+
+  // Single runs go through the engine too, so --cache and the observability
+  // flags apply to the interactive dev loop exactly as they do to sweeps.
   auto run_one = [&](const GpuConfig& c) -> SimResult {
     runner::SweepSpec spec;
     spec.add(c.line_label(), c, kernel);
-    return runner::run_sweep(spec, opts.run_options(&cache_total))[0].result;
+    const WallTimer timer;
+    std::vector<runner::SweepRow> rows = runner::run_sweep(spec, opts.run_options(&cache_total));
+    if (!opts.manifest_path.empty())
+      manifest.add_sweep(c.line_label(), rows, timer.seconds(), threads_used(rows.size()));
+    return rows[0].result;
   };
 
   try {
@@ -378,7 +418,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  if (opts.cache_stats)
-    std::fprintf(stderr, "[grs_cli] cache: %s\n", cache_total.summary().c_str());
-  return 0;
+  return finish_run();
 }

@@ -84,6 +84,24 @@ sys.exit(0 if ok else 1)
 EOF
 ) || { printf '%s\n' "$drift" >&2; echo "error: documented flags drifted from --help" >&2; fail=1; }
 
+# --- 2b. observability flags must exist in both helps -------------------------
+# The flag-drift check above only catches flags the docs mention; this pins the
+# observability surface itself so it cannot be dropped from either binary.
+for flag in --trace --timeline --timeline-interval --manifest; do
+  for tool in grs_cli grs_bench; do
+    help_text=$cli_help
+    [ "$tool" = grs_bench ] && help_text=$bench_help
+    if ! grep -qe "^  $flag " <<<"$help_text"; then
+      echo "error: $tool --help no longer documents $flag (src/runner/cli_options.cc)" >&2
+      fail=1
+    fi
+  done
+done
+if ! grep -qe "^  --progress " <<<"$bench_help"; then
+  echo "error: grs_bench --help no longer documents --progress" >&2
+  fail=1
+fi
+
 # --- 3. every registered bench is documented ----------------------------------
 while read -r name _; do
   if ! grep -rqe "$name" README.md docs/*.md; then

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Validate a grs --trace file against the Chrome trace-event format.
+
+Checks the subset Perfetto/chrome://tracing require to load the file:
+  * the document is valid JSON with a non-empty "traceEvents" array;
+  * every event carries ph/pid/tid, and every non-metadata event a
+    numeric non-negative ts ('X' events also a numeric dur);
+  * timestamps are monotonically non-decreasing per (pid, tid) track
+    (events are appended in hook-call order; a regression means the
+    emitter's ordering contract in docs/observability.md is broken).
+
+Usage: validate_trace.py trace.json [more.json ...]; exit 1 on any violation.
+"""
+import json
+import sys
+
+
+def validate(path: str) -> list:
+    problems = []
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: traceEvents missing or empty"]
+    last_ts = {}
+    for i, e in enumerate(events):
+        where = f"{path}: event {i}"
+        ph = e.get("ph")
+        if not isinstance(ph, str) or len(ph) != 1:
+            problems.append(f"{where}: bad ph {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                problems.append(f"{where}: missing/non-integer {key}")
+        if "name" not in e:
+            problems.append(f"{where}: missing name")
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: missing/negative ts {ts!r}")
+            continue
+        if ph == "X" and not isinstance(e.get("dur"), (int, float)):
+            problems.append(f"{where}: 'X' event without dur")
+        track = (e.get("pid"), e.get("tid"))
+        if ts < last_ts.get(track, 0):
+            problems.append(
+                f"{where}: ts {ts} regressed below {last_ts[track]} on track {track}"
+            )
+        last_ts[track] = max(ts, last_ts.get(track, 0))
+    return problems
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            problems = validate(path)
+        except (OSError, ValueError) as err:
+            problems = [f"{path}: {err}"]
+        for p in problems:
+            print(f"error: {p}", file=sys.stderr)
+        if problems:
+            failed = True
+        else:
+            print(f"OK: {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

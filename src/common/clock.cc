@@ -1,0 +1,12 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace grs {
+
+double monotonic_seconds() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace grs

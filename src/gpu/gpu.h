@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
@@ -11,6 +12,7 @@
 #include "core/occupancy.h"
 #include "gpu/dispatcher.h"
 #include "memory/memsys.h"
+#include "obs/obs.h"
 #include "sm/sm.h"
 #include "workloads/kernel_info.h"
 
@@ -20,7 +22,12 @@ class Gpu {
  public:
   /// `program` must outlive the Gpu (the Simulator facade owns the
   /// possibly-reordered copy). `kernel.program` is ignored here.
-  Gpu(const GpuConfig& cfg, const KernelInfo& kernel, const Program& program);
+  /// `obs` (optional, must outlive the Gpu) turns on observability: trace
+  /// hooks throughout the machine and/or timeline sampling in run(). Null
+  /// observability never changes GpuStats — the run is bit-identical either
+  /// way (tests/test_obs.cc).
+  Gpu(const GpuConfig& cfg, const KernelInfo& kernel, const Program& program,
+      obs::SimObserver* obs = nullptr);
 
   /// Run the grid to completion (or cfg.max_cycles); returns aggregate stats.
   [[nodiscard]] GpuStats run();
@@ -30,6 +37,8 @@ class Gpu {
 
  private:
   [[nodiscard]] bool done() const;
+  /// Counter/gauge snapshot for timeline boundary `b` (see obs/timeline.h).
+  void take_timeline_sample(Cycle b);
 
   GpuConfig cfg_;
   Occupancy occupancy_;
@@ -37,6 +46,9 @@ class Gpu {
   DynThrottle dyn_;
   std::vector<StreamingMultiprocessor> sms_;
   std::unique_ptr<Dispatcher> dispatcher_;
+  obs::SimObserver* obs_ = nullptr;
+  std::string kernel_name_;
+  std::uint64_t grid_blocks_ = 0;
 };
 
 }  // namespace grs

@@ -6,6 +6,10 @@
 namespace grs {
 
 SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel) {
+  return simulate(cfg, kernel, nullptr);
+}
+
+SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel, obs::SimObserver* obs) {
   cfg.validate();
   kernel.validate();
 
@@ -15,7 +19,7 @@ SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel) {
     program = reorder_registers_by_first_use(program);
   }
 
-  Gpu gpu(cfg, kernel, program);
+  Gpu gpu(cfg, kernel, program, obs);
   SimResult r;
   r.stats = gpu.run();
   r.occupancy = gpu.occupancy();

@@ -16,6 +16,10 @@
 
 namespace grs {
 
+namespace obs {
+class SimObserver;
+}
+
 struct SimResult {
   GpuStats stats;
   Occupancy occupancy;
@@ -23,5 +27,12 @@ struct SimResult {
 };
 
 [[nodiscard]] SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel);
+
+/// Observed run: `obs` (may be null) collects trace events and/or timeline
+/// samples for this one simulation (src/obs). The returned SimResult is
+/// bit-identical to the unobserved overload — observability never feeds back
+/// into the machine.
+[[nodiscard]] SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel,
+                                 obs::SimObserver* obs);
 
 }  // namespace grs

@@ -23,9 +23,10 @@ std::size_t Dram::bank_index(Addr line_addr) const {
   return channel * cfg_.banks_per_channel + bank;
 }
 
-Cycle Dram::request(Addr line_addr, Cycle now) {
+Cycle Dram::request(Addr line_addr, Cycle now, RequestInfo* info) {
   ++requests;
-  Bank& b = banks_[bank_index(line_addr)];
+  const std::size_t idx = bank_index(line_addr);
+  Bank& b = banks_[idx];
   const std::uint64_t row = line_addr / cfg_.row_bytes;
 
   bool hit = false;
@@ -43,7 +44,19 @@ Cycle Dram::request(Addr line_addr, Cycle now) {
   const Cycle begin = std::max(now, b.next_free);
   const Cycle service = hit ? cfg_.row_hit_service : cfg_.row_miss_service;
   b.next_free = begin + service;
+  if (info != nullptr) {
+    info->begin = begin;
+    info->row_hit = hit;
+    info->channel = static_cast<std::uint32_t>(idx / cfg_.banks_per_channel);
+    info->bank = static_cast<std::uint32_t>(idx % cfg_.banks_per_channel);
+  }
   return begin + service + cfg_.base_latency;
+}
+
+std::uint32_t Dram::busy_banks(Cycle at) const {
+  std::uint32_t n = 0;
+  for (const auto& b : banks_) n += b.next_free > at ? 1 : 0;
+  return n;
 }
 
 }  // namespace grs

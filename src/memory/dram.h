@@ -19,8 +19,20 @@ class Dram {
  public:
   explicit Dram(const DramConfig& cfg, std::uint32_t line_bytes);
 
+  /// Per-request facts the tracing layer wants; filled only when a non-null
+  /// pointer is passed to request() (the hot path skips it entirely).
+  struct RequestInfo {
+    Cycle begin = 0;        ///< cycle the bank starts servicing
+    bool row_hit = false;
+    std::uint32_t channel = 0;
+    std::uint32_t bank = 0;  ///< within the channel
+  };
+
   /// Issue one line fetch first observed at `now`; returns data-ready cycle.
-  [[nodiscard]] Cycle request(Addr line_addr, Cycle now);
+  [[nodiscard]] Cycle request(Addr line_addr, Cycle now, RequestInfo* info = nullptr);
+
+  /// Banks still servicing a request after `at` (timeline occupancy gauge).
+  [[nodiscard]] std::uint32_t busy_banks(Cycle at) const;
 
   [[nodiscard]] const DramConfig& config() const { return cfg_; }
 

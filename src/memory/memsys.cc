@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace grs {
 
@@ -33,29 +34,53 @@ const CacheConfig& MemorySystem::bank_config(std::uint32_t bank) const {
   return banks_[bank].tags.config();
 }
 
+void MemorySystem::set_observer(obs::SimObserver* o) {
+  trace_ = (o != nullptr && o->trace_enabled()) ? o : nullptr;
+}
+
 Cycle MemorySystem::access(Addr line_addr, Cycle now) {
   // Interconnect transit, each way.
   const Cycle transit = (cfg_.l2_hit_latency - kL2PipeLatency) / 2;
 
   const std::uint64_t line = line_addr / cfg_.l2.line_bytes;
-  L2Bank& bank = banks_[line % banks_.size()];
+  const std::uint32_t bank_idx = static_cast<std::uint32_t>(line % banks_.size());
+  L2Bank& bank = banks_[bank_idx];
 
   const Cycle arrive = now + transit;
   const Cycle start = std::max(arrive, bank.next_free);
   bank.next_free = start + kBankOccupancy;
 
   const Cache::LookupResult r = bank.tags.lookup(line_addr, start);
-  if (r.hit) return start + kL2PipeLatency + transit;
+  if (r.hit) {
+    if (trace_)
+      trace_->l2_transaction(bank_idx, start, line_addr, true, false, start + kL2PipeLatency);
+    return start + kL2PipeLatency + transit;
+  }
   if (r.mshr_merge) {
     // Data arrives at the L2 at r.ready; serve after both that and our
     // own pipeline slot.
-    return std::max(start + kL2PipeLatency, r.ready) + transit;
+    const Cycle served = std::max(start + kL2PipeLatency, r.ready);
+    if (trace_) trace_->l2_transaction(bank_idx, start, line_addr, false, true, served);
+    return served + transit;
   }
 
   // Primary miss (or MSHR full: bypass without fill).
-  const Cycle dram_ready = dram_.request(line_addr, start + kL2PipeLatency);
+  Dram::RequestInfo info;
+  const Cycle dram_ready =
+      dram_.request(line_addr, start + kL2PipeLatency, trace_ ? &info : nullptr);
   if (!r.mshr_full) bank.tags.fill_inflight(line_addr, dram_ready);
+  if (trace_) {
+    trace_->l2_transaction(bank_idx, start, line_addr, false, false, dram_ready);
+    trace_->dram_transaction(info.channel, info.bank, info.begin, line_addr, info.row_hit,
+                             dram_ready);
+  }
   return dram_ready + transit;
+}
+
+std::uint32_t MemorySystem::l2_busy_banks(Cycle at) const {
+  std::uint32_t n = 0;
+  for (const auto& b : banks_) n += b.next_free > at ? 1 : 0;
+  return n;
 }
 
 std::uint64_t MemorySystem::l2_accesses() const {

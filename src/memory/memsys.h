@@ -17,9 +17,17 @@
 
 namespace grs {
 
+namespace obs {
+class SimObserver;
+}
+
 class MemorySystem {
  public:
   explicit MemorySystem(const GpuConfig& cfg);
+
+  /// Trace L2/DRAM transaction lifecycles into `o` (null, or an observer
+  /// without tracing, disables the hooks — the default).
+  void set_observer(obs::SimObserver* o);
 
   /// One L1-miss transaction first observed at `now`; returns data-ready
   /// cycle at the SM. Deterministic in call order.
@@ -39,6 +47,11 @@ class MemorySystem {
   [[nodiscard]] std::uint64_t dram_requests() const { return dram_.requests; }
   [[nodiscard]] std::uint64_t dram_row_hits() const { return dram_.row_hits; }
 
+  // -- occupancy gauges (timeline sampling) --------------------------------
+  /// L2 banks whose serialization queue extends past `at`.
+  [[nodiscard]] std::uint32_t l2_busy_banks(Cycle at) const;
+  [[nodiscard]] std::uint32_t dram_busy_banks(Cycle at) const { return dram_.busy_banks(at); }
+
  private:
   struct L2Bank {
     explicit L2Bank(const CacheConfig& c) : tags(c) {}
@@ -49,6 +62,7 @@ class MemorySystem {
   GpuConfig cfg_;
   std::vector<L2Bank> banks_;
   Dram dram_;
+  obs::SimObserver* trace_ = nullptr;  ///< null unless event tracing is on
   /// Cycles an L2 bank is occupied per transaction.
   static constexpr Cycle kBankOccupancy = 2;
 };

@@ -1,0 +1,123 @@
+// SimObserver: the one object the simulator talks to when observability is
+// on. Zero-cost-when-off contract: every hook site in src/sm, src/gpu and
+// src/memory guards on a pointer that is null unless the relevant pillar is
+// enabled, so a default run compiles the instrumentation down to an untaken
+// branch; GpuStats and the result-cache key are untouched either way.
+//
+// Pillars (any subset may be active):
+//  * event tracing  — hooks below render Chrome-trace events into a
+//    TraceSink; warp scan classifications become state-transition slices,
+//    which is the trick that keeps traces byte-identical across cycle and
+//    event exec modes (obs/events.h).
+//  * timeline sampling — gpu/gpu.cc drives timeline_sample() at interval
+//    boundaries; obs/timeline.h renders the CSV.
+//
+// One SimObserver observes exactly one simulate() call; it is not
+// thread-safe and must not be shared across sweep points.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+#include "obs/events.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+
+namespace grs::obs {
+
+/// Which pillars are on. Deliberately NOT part of GpuConfig: observability
+/// must never change a config fingerprint or a result-cache key.
+struct ObsOptions {
+  bool trace = false;            ///< collect trace events
+  Cycle timeline_interval = 0;   ///< sample period in cycles; 0 = timeline off
+
+  [[nodiscard]] bool any() const { return trace || timeline_interval != 0; }
+};
+
+/// Fixed shape of the machine being traced; begin_run() turns it into
+/// Perfetto process/thread metadata so tracks are named before any event.
+struct TraceTopology {
+  std::uint32_t num_sms = 0;
+  std::uint32_t warp_slots = 0;   ///< per SM
+  std::uint32_t block_slots = 0;  ///< per SM
+  std::uint32_t pairs = 0;        ///< per SM
+  std::uint32_t l2_banks = 0;
+  std::uint32_t dram_channels = 0;
+  std::uint32_t dram_banks_per_channel = 0;
+  std::string kernel;
+  std::uint64_t grid_blocks = 0;
+};
+
+class SimObserver {
+ public:
+  /// Owns a ChromeTraceSink when opts.trace is set.
+  explicit SimObserver(const ObsOptions& opts);
+  /// Trace into an external sink (not owned); opts.trace is implied on.
+  SimObserver(const ObsOptions& opts, TraceSink* sink);
+
+  SimObserver(const SimObserver&) = delete;
+  SimObserver& operator=(const SimObserver&) = delete;
+
+  [[nodiscard]] bool trace_enabled() const { return sink_ != nullptr; }
+  [[nodiscard]] Cycle timeline_interval() const { return opts_.timeline_interval; }
+
+  // --- lifecycle (gpu/gpu.cc) --------------------------------------------
+  void begin_run(const TraceTopology& topo);
+  /// Close still-open warp slices and seal the trace document.
+  void finalize(Cycle final_cycle);
+
+  // --- warp/scheduler hooks (sm/sm.cc; call only when trace_enabled()) ---
+  void warp_scan(SmId sm, std::uint32_t slot, Cycle now, WarpState st);
+  void warp_issue(SmId sm, std::uint32_t slot, Cycle now, Op op);
+  void warp_exit(SmId sm, std::uint32_t slot, Cycle now);
+
+  // --- block lifecycle ----------------------------------------------------
+  void block_launch(SmId sm, std::uint32_t slot, std::uint64_t block_uid, Cycle now,
+                    int pair_id, int side, bool owner);
+  void block_finish(SmId sm, std::uint32_t slot, std::uint64_t block_uid, Cycle now);
+
+  // --- sharing mechanism --------------------------------------------------
+  void lock_acquire(SmId sm, std::uint32_t pair, Cycle now, bool reg, int side,
+                    std::uint32_t pos, bool owner_seeded);
+  void lock_release_warp(SmId sm, std::uint32_t pair, Cycle now, int side, std::uint32_t pos);
+  void lock_release_block(SmId sm, std::uint32_t pair, Cycle now, int side);
+  void ownership_transfer(SmId sm, std::uint32_t pair, Cycle now, int new_side);
+
+  // --- memory hierarchy ---------------------------------------------------
+  void l1_transaction(SmId sm, Cycle now, Addr line_addr, L1Outcome outcome, Cycle done);
+  void l2_transaction(std::uint32_t bank, Cycle start, Addr line_addr, bool hit, bool merge,
+                      Cycle done);
+  void dram_transaction(std::uint32_t channel, std::uint32_t bank, Cycle begin, Addr line_addr,
+                        bool row_hit, Cycle done);
+
+  // --- timeline -----------------------------------------------------------
+  void timeline_sample(Cycle boundary, const std::vector<SmTimelinePoint>& sms,
+                       const GpuTimelinePoint& gpu);
+
+  // --- outputs ------------------------------------------------------------
+  /// Complete trace JSON (after finalize()); empty when tracing is off or
+  /// the sink is external.
+  [[nodiscard]] const std::string& trace_json() const;
+  /// Timeline CSV; empty when the timeline pillar is off.
+  [[nodiscard]] std::string timeline_csv() const;
+
+ private:
+  void close_slice(SmId sm, std::uint32_t slot, Cycle now);
+
+  ObsOptions opts_;
+  std::unique_ptr<ChromeTraceSink> owned_sink_;
+  TraceSink* sink_ = nullptr;
+  std::unique_ptr<TimelineSampler> timeline_;
+
+  std::uint32_t num_sms_ = 0;
+  std::uint32_t warp_slots_ = 0;
+  std::uint32_t dram_banks_per_channel_ = 0;
+  std::string kernel_;
+  /// Current open slice per (sm, warp slot); kNone = no slice open.
+  std::vector<WarpState> open_;
+};
+
+}  // namespace grs::obs

@@ -1,0 +1,84 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace grs::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char tmp[24];
+  std::snprintf(tmp, sizeof tmp, "%" PRIu64, v);
+  out += tmp;
+}
+
+/// Escape for a JSON string literal (names/args are ASCII; control chars and
+/// quotes are the only hazards).
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char tmp[8];
+      std::snprintf(tmp, sizeof tmp, "\\u%04x", c);
+      out += tmp;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+void ChromeTraceSink::begin() {
+  buf_.clear();
+  buf_ += "{\"traceEvents\":[\n";
+  first_ = true;
+}
+
+void ChromeTraceSink::emit(const TraceEvent& e) {
+  if (!first_) buf_ += ",\n";
+  first_ = false;
+  buf_ += "{\"name\":\"";
+  append_escaped(buf_, e.name);
+  buf_ += "\",\"ph\":\"";
+  buf_ += e.ph;
+  buf_ += '"';
+  if (e.cat != nullptr) {
+    buf_ += ",\"cat\":\"";
+    append_escaped(buf_, e.cat);
+    buf_ += '"';
+  }
+  buf_ += ",\"pid\":";
+  append_u64(buf_, e.pid);
+  buf_ += ",\"tid\":";
+  append_u64(buf_, e.tid);
+  if (e.ph != 'M') {
+    buf_ += ",\"ts\":";
+    append_u64(buf_, e.ts);
+  }
+  if (e.ph == 'X') {
+    buf_ += ",\"dur\":";
+    append_u64(buf_, e.dur);
+  }
+  if (e.ph == 'i') buf_ += ",\"s\":\"t\"";  // instant scope: thread
+  if (!e.args_json.empty()) {
+    buf_ += ",\"args\":";
+    buf_ += e.args_json;
+  }
+  buf_ += '}';
+}
+
+void ChromeTraceSink::end(const std::string& other_data_json) {
+  buf_ += "\n],\n\"displayTimeUnit\":\"ns\"";
+  if (!other_data_json.empty()) {
+    buf_ += ",\n\"otherData\":";
+    buf_ += other_data_json;
+  }
+  buf_ += "\n}\n";
+}
+
+}  // namespace grs::obs

@@ -9,6 +9,8 @@ void CommonOptions::finalize() const {
     throw UsageError("--cache-mode only applies together with --cache DIR");
   if (cache_stats && cache_dir.empty())
     throw UsageError("--cache-stats only applies together with --cache DIR");
+  if (timeline_interval_set && timeline_path.empty())
+    throw UsageError("--timeline-interval only applies together with --timeline FILE");
 }
 
 RunOptions CommonOptions::run_options(cache::CacheStats* stats_out) const {
@@ -17,6 +19,9 @@ RunOptions CommonOptions::run_options(cache::CacheStats* stats_out) const {
   run.cache_dir = cache_dir;
   run.cache_mode = cache_dir.empty() ? cache::CacheMode::kOff : cache_mode;
   run.cache_stats = stats_out;
+  run.trace_path = trace_path;
+  run.timeline_path = timeline_path;
+  run.timeline_interval = timeline_interval;
   return run;
 }
 
@@ -60,6 +65,31 @@ bool parse_common_flag(CommonOptions& opts, const CommonFlagSet& set, const std:
     opts.cache_stats = true;
     return true;
   }
+  if (arg == "--trace") {
+    opts.trace_path = next();
+    if (opts.trace_path.empty()) throw UsageError("--trace expects a file name");
+    return true;
+  }
+  if (arg == "--timeline") {
+    opts.timeline_path = next();
+    if (opts.timeline_path.empty()) throw UsageError("--timeline expects a file name");
+    return true;
+  }
+  if (arg == "--timeline-interval") {
+    const std::string value = next();
+    const auto v = parse_u32(value);
+    if (!v.has_value() || *v == 0)
+      throw UsageError("--timeline-interval expects a positive cycle count, got '" + value +
+                       "'");
+    opts.timeline_interval = *v;
+    opts.timeline_interval_set = true;
+    return true;
+  }
+  if (arg == "--manifest") {
+    opts.manifest_path = next();
+    if (opts.manifest_path.empty()) throw UsageError("--manifest expects a file name");
+    return true;
+  }
   return false;
 }
 
@@ -82,7 +112,17 @@ std::string common_options_help(const CommonFlagSet& set) {
       "                    and reused across runs (docs/result-cache.md)\n"
       "  --cache-mode M    off | read | readwrite | verify (default readwrite;\n"
       "                    verify re-simulates hits and fails on any byte diff)\n"
-      "  --cache-stats     print cache hit/miss/bytes counters to stderr\n";
+      "  --cache-stats     print cache hit/miss/bytes counters to stderr\n"
+      "  --trace FILE      write a Chrome-trace/Perfetto JSON of every sweep\n"
+      "                    point (multi-point sweeps write FILE.0, FILE.1, ...);\n"
+      "                    forces fresh simulation, bypassing --cache\n"
+      "  --timeline FILE   write a per-SM counter timeline CSV per sweep point\n"
+      "                    (same per-point naming; byte-identical across\n"
+      "                    --threads and exec modes — docs/observability.md)\n"
+      "  --timeline-interval N   timeline sample period in cycles (default 1000)\n"
+      "  --manifest FILE   write run telemetry JSON: wall clock per cell,\n"
+      "                    sims/sec, pool utilization, cache counters,\n"
+      "                    host + config fingerprints\n";
   return out;
 }
 

@@ -1,9 +1,10 @@
 // Shared CLI option surface for the sweep-running frontends (grs_cli,
 // grs_bench): one strict parser and one --help text source for the engine
-// options they have in common — --threads/--filter/--out/--json and the
-// result-cache family --cache/--cache-mode/--cache-stats — so the
-// scripts/check_docs.sh flag-drift check has a single origin and the two
-// binaries can never disagree on spelling, validation, or semantics.
+// options they have in common — --threads/--filter/--out/--json, the
+// result-cache family --cache/--cache-mode/--cache-stats, and the
+// observability family --trace/--timeline/--timeline-interval/--manifest —
+// so the scripts/check_docs.sh flag-drift check has a single origin and the
+// two binaries can never disagree on spelling, validation, or semantics.
 //
 //   CommonOptions opts;
 //   for (each arg) {
@@ -22,6 +23,7 @@
 #include <string>
 
 #include "cache/result_cache.h"
+#include "common/types.h"
 #include "runner/engine.h"
 
 namespace grs::runner {
@@ -50,13 +52,27 @@ struct CommonOptions {
   bool cache_mode_set = false;
   bool cache_stats = false;  ///< --cache-stats
 
+  // Observability (src/obs; docs/observability.md).
+  std::string trace_path;     ///< --trace FILE
+  std::string timeline_path;  ///< --timeline FILE
+  Cycle timeline_interval = 1000;  ///< --timeline-interval N
+  bool timeline_interval_set = false;
+  std::string manifest_path;  ///< --manifest FILE
+
+  /// True when this run collects trace events or timeline samples (which
+  /// forces fresh simulation — see RunOptions).
+  [[nodiscard]] bool obs_enabled() const {
+    return !trace_path.empty() || !timeline_path.empty();
+  }
+
   /// True when sweeps should consult the store.
   [[nodiscard]] bool cache_enabled() const {
     return !cache_dir.empty() && cache_mode != cache::CacheMode::kOff;
   }
 
   /// Cross-flag validation (call once after the argv loop): --cache-mode and
-  /// --cache-stats require --cache. Throws UsageError.
+  /// --cache-stats require --cache; --timeline-interval requires --timeline.
+  /// Throws UsageError.
   void finalize() const;
 
   /// Engine options carrying the threads + cache settings; `stats_out` (may

@@ -1,12 +1,15 @@
 #include "runner/engine.h"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 
 #include "cache/key.h"
+#include "common/clock.h"
 #include "gpu/result_codec.h"
+#include "obs/obs.h"
 #include "runner/thread_pool.h"
 
 namespace grs::runner {
@@ -16,7 +19,7 @@ namespace {
 /// Resolve one point through the cache. Hits skip simulate() entirely (except
 /// under kVerify, whose whole point is to re-simulate); misses simulate and —
 /// in the writing modes — publish atomically.
-SimResult run_cached_point(cache::ResultCache& cache, const SweepPoint& p) {
+SimResult run_cached_point(cache::ResultCache& cache, const SweepPoint& p, bool* from_cache) {
   const std::string key = cache::result_cache_key(p.config, p.kernel);
   std::string payload;
   SimResult cached;
@@ -39,6 +42,7 @@ SimResult run_cached_point(cache::ResultCache& cache, const SweepPoint& p) {
     // The payload carries stats + occupancy; the key pins the config, so the
     // caller-visible config is restored from the point itself.
     cached.config = p.config;
+    *from_cache = true;
     return cached;
   }
   SimResult fresh = simulate(p.config, p.kernel);
@@ -46,7 +50,24 @@ SimResult run_cached_point(cache::ResultCache& cache, const SweepPoint& p) {
   return fresh;
 }
 
+void write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open '" + path + "' for writing");
+  f.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!f) throw std::runtime_error("failed writing '" + path + "'");
+}
+
 }  // namespace
+
+std::string obs_point_path(const std::string& base, std::size_t index, std::size_t n) {
+  if (n <= 1) return base;
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  const std::string idx = "." + std::to_string(index);
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return base + idx;
+  return base.substr(0, dot) + idx + base.substr(dot);
+}
 
 std::vector<SweepRow> run_sweep(const SweepSpec& spec, const RunOptions& options) {
   const std::size_t n = spec.points.size();
@@ -56,18 +77,39 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec, const RunOptions& options
   unsigned threads = options.threads == 0 ? ThreadPool::default_threads() : options.threads;
   threads = static_cast<unsigned>(std::min<std::size_t>(threads, n));
 
+  // Observability forces fresh simulation: a cache hit has no event stream.
+  obs::ObsOptions obs_opts;
+  obs_opts.trace = !options.trace_path.empty();
+  obs_opts.timeline_interval = options.timeline_path.empty() ? 0 : options.timeline_interval;
+  const bool observed = obs_opts.any();
+
   std::unique_ptr<cache::ResultCache> cache;
-  if (options.cache_mode != cache::CacheMode::kOff && !options.cache_dir.empty())
+  if (!observed && options.cache_mode != cache::CacheMode::kOff && !options.cache_dir.empty())
     cache = std::make_unique<cache::ResultCache>(options.cache_dir, options.cache_mode);
+
+  struct ObsOutput {
+    std::string trace;
+    std::string timeline;
+  };
+  std::vector<ObsOutput> obs_out(observed ? n : 0);
 
   // `done` is only mutated under the mutex so the callback sees a
   // monotonically increasing count.
   std::mutex progress_mu;
   std::size_t done = 0;
   auto run_point = [&](std::size_t i) {
+    const WallTimer cell_timer;
     rows[i].point = spec.points[i];
-    rows[i].result = cache ? run_cached_point(*cache, spec.points[i])
-                           : simulate(spec.points[i].config, spec.points[i].kernel);
+    if (observed) {
+      obs::SimObserver observer(obs_opts);
+      rows[i].result = simulate(spec.points[i].config, spec.points[i].kernel, &observer);
+      if (obs_opts.trace) obs_out[i].trace = observer.trace_json();
+      if (obs_opts.timeline_interval != 0) obs_out[i].timeline = observer.timeline_csv();
+    } else {
+      rows[i].result = cache ? run_cached_point(*cache, spec.points[i], &rows[i].from_cache)
+                             : simulate(spec.points[i].config, spec.points[i].kernel);
+    }
+    rows[i].wall_ms = cell_timer.seconds() * 1000.0;
     if (options.progress) {
       std::lock_guard<std::mutex> lock(progress_mu);
       options.progress(++done, n);
@@ -81,6 +123,16 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec, const RunOptions& options
     for (std::size_t i = 0; i < n; ++i) pool.submit([&run_point, i] { run_point(i); });
     pool.wait();
   }
+
+  // Buffered observability outputs land on disk only after the sweep, in
+  // point order — byte-identical files for any worker count.
+  for (std::size_t i = 0; i < obs_out.size(); ++i) {
+    if (!options.trace_path.empty())
+      write_text_file(obs_point_path(options.trace_path, i, n), obs_out[i].trace);
+    if (!options.timeline_path.empty())
+      write_text_file(obs_point_path(options.timeline_path, i, n), obs_out[i].timeline);
+  }
+
   if (cache && options.cache_stats != nullptr) *options.cache_stats += cache->stats();
   return rows;
 }

@@ -12,15 +12,20 @@
 #include <vector>
 
 #include "cache/result_cache.h"
+#include "common/types.h"
 #include "gpu/simulator.h"
 #include "runner/sweep.h"
 
 namespace grs::runner {
 
-/// One completed sweep point.
+/// One completed sweep point. `wall_ms`/`from_cache` are host-side telemetry
+/// for run manifests (runner/manifest.h); they are never part of result
+/// encodings, so rows stay byte-identical across thread counts and hosts.
 struct SweepRow {
   SweepPoint point;
   SimResult result;
+  double wall_ms = 0.0;    ///< wall clock this cell took in this run
+  bool from_cache = false;  ///< result served from the result cache
 };
 
 struct RunOptions {
@@ -45,6 +50,17 @@ struct RunOptions {
   /// When non-null, this run's cache counters are accumulated (+=) into it
   /// after the sweep completes.
   cache::CacheStats* cache_stats = nullptr;
+
+  /// Observability (src/obs). When either path is set, every point is
+  /// simulated fresh under a per-point SimObserver — the result cache is
+  /// bypassed entirely for the run, since a cached result has no events to
+  /// replay — and the collected outputs are buffered in memory and written
+  /// after the sweep in point order, so files are byte-identical across
+  /// --threads. Multi-point sweeps write one file per point with the point
+  /// index spliced in before the extension (trace.json -> trace.0.json ...).
+  std::string trace_path;       ///< Chrome-trace JSON per point
+  std::string timeline_path;    ///< per-SM counter timeline CSV per point
+  Cycle timeline_interval = 1000;  ///< sample period (cycles) when timeline_path is set
 };
 
 /// Run every point of `spec`. Returns one row per point, in spec order.
@@ -54,5 +70,12 @@ struct RunOptions {
 /// the process inside a worker thread.
 [[nodiscard]] std::vector<SweepRow> run_sweep(const SweepSpec& spec,
                                               const RunOptions& options = {});
+
+/// File name for point `index` of an `n`-point sweep writing to `base`:
+/// `base` itself when n == 1, otherwise `base` with ".<index>" spliced in
+/// before the extension ("trace.json" -> "trace.3.json"; extensionless
+/// bases get a plain suffix).
+[[nodiscard]] std::string obs_point_path(const std::string& base, std::size_t index,
+                                         std::size_t n);
 
 }  // namespace grs::runner

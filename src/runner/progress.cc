@@ -1,0 +1,23 @@
+#include "runner/progress.h"
+
+#include <cstdio>
+
+namespace grs::runner {
+
+void ProgressTicker::update(std::size_t done, std::size_t total) {
+  const double elapsed = timer_.seconds();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  const double eta = rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
+  std::fprintf(stderr, "\r%s %zu/%zu cells  %.1f sims/s  ETA %.0fs   ", tag_, done, total,
+               rate, eta);
+  std::fflush(stderr);
+  printed_ = true;
+}
+
+void ProgressTicker::finish() {
+  if (!printed_) return;
+  std::fprintf(stderr, "\n");
+  printed_ = false;
+}
+
+}  // namespace grs::runner

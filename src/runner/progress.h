@@ -1,0 +1,35 @@
+// Stderr progress ticker for long sweeps (grs_bench --progress).
+//
+// Renders a single carriage-return-updated line — cells done/total, rolling
+// sims/sec, and an ETA from the rolling rate — strictly on stderr, so it can
+// never interleave with CSV/JSON results on stdout. update() is designed to
+// be the RunOptions::progress callback: the engine already serializes those
+// under a mutex, so the ticker itself keeps no locks.
+#pragma once
+
+#include <cstddef>
+
+#include "common/clock.h"
+
+namespace grs::runner {
+
+class ProgressTicker {
+ public:
+  /// `tag` prefixes the line, e.g. "[grs_bench]".
+  explicit ProgressTicker(const char* tag) : tag_(tag) {}
+  ~ProgressTicker() { finish(); }
+
+  /// Redraw the ticker line; matches the RunOptions::progress signature.
+  void update(std::size_t done, std::size_t total);
+
+  /// Terminate the ticker line with a newline (idempotent; called by the
+  /// destructor so a throwing sweep still leaves stderr at column 0).
+  void finish();
+
+ private:
+  const char* tag_;
+  WallTimer timer_;
+  bool printed_ = false;
+};
+
+}  // namespace grs::runner

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace grs {
 
@@ -12,7 +13,8 @@ StreamingMultiprocessor::StreamingMultiprocessor(SmId id, const GpuConfig& cfg,
                                                  const Occupancy& occ,
                                                  std::uint32_t active_lanes,
                                                  MemorySystem& memsys,
-                                                 const DynThrottle* dyn)
+                                                 const DynThrottle* dyn,
+                                                 obs::SimObserver* obs)
     : id_(id),
       cfg_(cfg),
       program_(&program),
@@ -37,6 +39,7 @@ StreamingMultiprocessor::StreamingMultiprocessor(SmId id, const GpuConfig& cfg,
                              cfg.two_level_group_size);
   cands_.reserve(warps_.size());
   txns_.reserve(32);
+  if (obs != nullptr && obs->trace_enabled()) trace_ = obs;
 }
 
 int StreamingMultiprocessor::pair_owner_side(std::uint32_t pair_id) const {
@@ -92,6 +95,12 @@ void StreamingMultiprocessor::launch_block(BlockSlot slot, std::uint64_t block_u
   ++stats_.blocks_launched;
   stats_.max_resident_blocks = std::max(stats_.max_resident_blocks, resident_blocks_);
   stats_.max_resident_warps = std::max(stats_.max_resident_warps, resident_warps_);
+
+  if (trace_) {
+    const bool owner = b.is_shared() && pairs_[b.pair_id].owner_side == b.side;
+    trace_->block_launch(id_, slot, block_uid, now_, b.is_shared() ? b.pair_id : -1, b.side,
+                         owner);
+  }
 }
 
 void StreamingMultiprocessor::drain_events(Cycle now) {
@@ -123,7 +132,7 @@ bool StreamingMultiprocessor::needs_smem_lock(const ResidentBlock& b,
 }
 
 void StreamingMultiprocessor::acquire_with_ownership(PairState& p, int side, bool reg,
-                                                     std::uint32_t pos) {
+                                                     std::uint32_t pos, Cycle now) {
   // Paper §IV-A: the block whose warps enter the shared region first becomes
   // the owner block (a waiting partner then "waits for shared resources from
   // the owner").
@@ -144,10 +153,12 @@ void StreamingMultiprocessor::acquire_with_ownership(PairState& p, int side, boo
       p.owner_side = side;
       p.locks.set_entitled(side);
     }
+    if (trace_) trace_->lock_acquire(id_, pair_id_of(p), now, reg, side, pos, first_lock);
   }
 }
 
 bool StreamingMultiprocessor::step(Cycle now) {
+  now_ = now;
   drain_events(now);
   l1_.drain(now);
   lsu_port_ = 0;
@@ -229,6 +240,11 @@ void StreamingMultiprocessor::repeat_idle_accounting(std::uint64_t n) {
 bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
   cands_.clear();
   bool saw_stall = false;
+  // The scan classifies every live warp; with tracing on, each
+  // classification is mirrored to the observer, which turns the stream into
+  // state-transition slices (obs/events.h explains why that stays
+  // byte-identical across exec modes).
+  obs::SimObserver* const tr = trace_;
 
   const auto n_sched = static_cast<std::uint32_t>(schedulers_.size());
   for (std::uint32_t slot = sched_id; slot < warps_.size(); slot += n_sched) {
@@ -236,6 +252,7 @@ bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
     if (!w.live()) continue;
     if (w.at_barrier) {  // synchronization wait -> idle class
       ++stats_.blocked_barrier;
+      if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kBarrier);
       continue;
     }
 
@@ -245,9 +262,13 @@ bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
     // Scoreboard: RAW/WAW on in-flight results -> dependency wait (idle class).
     if ((w.pending_writes & hazard_mask(*ins)) != 0) {
       ++stats_.blocked_scoreboard;
+      if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kScoreboard);
       continue;
     }
-    if (ins->op == Op::kExit && w.inflight != 0) continue;  // drain before exit
+    if (ins->op == Op::kExit && w.inflight != 0) {  // drain before exit
+      if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kDrainExit);
+      continue;
+    }
 
     const ResidentBlock& b = blocks_[w.block];
 
@@ -257,10 +278,12 @@ bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
     if (needs_reg_lock(b, *ins) &&
         !pairs_[b.pair_id].locks.reg_can_acquire(b.side, w.pos_in_block)) {
       ++stats_.lock_wait_cycles;
+      if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kLockWait);
       continue;
     }
     if (needs_smem_lock(b, *ins) && !pairs_[b.pair_id].locks.smem_can_acquire(b.side)) {
       ++stats_.lock_wait_cycles;
+      if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kLockWait);
       continue;
     }
 
@@ -276,6 +299,7 @@ bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
       if (!dyn_->allow(id_, now, w.warp_uid)) {
         ++stats_.dyn_throttled_issues;
         if (cycle_dependent) dyn_blocked_uids_.push_back(w.warp_uid);
+        if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kDynGated);
         continue;
       }
       scan_gate_passed_ |= cycle_dependent;
@@ -286,11 +310,13 @@ bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
       if (lsu_port_ >= cfg_.lsu_issue_per_cycle) {
         saw_stall = true;
         ++stats_.blocked_lsu_port;
+        if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kLsuPort);
         continue;
       }
       if (lsu_inflight_ >= cfg_.lsu_max_inflight) {
         saw_stall = true;
         ++stats_.blocked_lsu_inflight;
+        if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kLsuQueue);
         continue;
       }
       if (ins->op == Op::kLdGlobal) {  // stores bypass the MSHR (no-allocate)
@@ -298,15 +324,18 @@ bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
         if (l1_.inflight() + txns > cfg_.l1.mshr_entries) {
           saw_stall = true;
           ++stats_.blocked_mshr;
+          if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kMshrFull);
           continue;
         }
       }
     } else if (ins->op == Op::kSfu && sfu_port_ >= cfg_.sfu_issue_per_cycle) {
       saw_stall = true;
       ++stats_.blocked_sfu_port;
+      if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kSfuPort);
       continue;
     }
 
+    if (tr) tr->warp_scan(id_, slot, now, obs::WarpState::kEligible);
     cands_.push_back(SchedCandidate{slot, w.dynamic_id, cls});
   }
 
@@ -320,8 +349,10 @@ bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
   }
 
   const std::size_t pick = schedulers_[sched_id].select(cands_);
-  Warp& w = warps_[cands_[pick].slot];
+  const std::uint32_t picked_slot = cands_[pick].slot;
+  Warp& w = warps_[picked_slot];
   const Instruction ins = *w.cursor.peek(*program_);
+  if (tr) tr->warp_issue(id_, picked_slot, now, ins.op);
   issue(w, ins, now);
   ++stats_.issued_cycles;
   ++stats_.warp_instructions;
@@ -334,9 +365,9 @@ void StreamingMultiprocessor::issue(Warp& w, const Instruction& ins, Cycle now) 
 
   // Take sharing locks (legality was established during candidate scan).
   if (needs_reg_lock(b, ins))
-    acquire_with_ownership(pairs_[b.pair_id], b.side, /*reg=*/true, w.pos_in_block);
+    acquire_with_ownership(pairs_[b.pair_id], b.side, /*reg=*/true, w.pos_in_block, now);
   if (needs_smem_lock(b, ins))
-    acquire_with_ownership(pairs_[b.pair_id], b.side, /*reg=*/false, 0);
+    acquire_with_ownership(pairs_[b.pair_id], b.side, /*reg=*/false, 0, now);
 
   // Static identity and per-instruction execution index of `ins`, captured
   // before the cursor moves (profile-backed address sampling keys on them).
@@ -383,7 +414,7 @@ void StreamingMultiprocessor::issue(Warp& w, const Instruction& ins, Cycle now) 
       break;
     }
     case Op::kExit: {
-      handle_exit(w);
+      handle_exit(w, now);
       break;
     }
   }
@@ -408,20 +439,26 @@ void StreamingMultiprocessor::do_global_access(Warp& w, const Instruction& ins, 
       if (!r.hit && !r.mshr_merge && !r.mshr_full) {
         (void)memsys_->access(line, now);  // bandwidth/occupancy only
       }
+      if (trace_) trace_->l1_transaction(id_, now, line, obs::L1Outcome::kStore, now);
     }
   } else {
     for (const Addr line : txns_) {
       const Cache::LookupResult r = l1_.lookup(line, now);
       GRS_CHECK_MSG(!r.mshr_full, "MSHR availability was pre-checked for loads");
       Cycle t;
+      obs::L1Outcome outcome;
       if (r.hit) {
         t = now + cfg_.l1_hit_latency;
+        outcome = obs::L1Outcome::kHit;
       } else if (r.mshr_merge) {
         t = std::max(r.ready, now + cfg_.l1_hit_latency);
+        outcome = obs::L1Outcome::kMerge;
       } else {
         t = memsys_->access(line, now);
         l1_.fill_inflight(line, t);
+        outcome = obs::L1Outcome::kMiss;
       }
+      if (trace_) trace_->l1_transaction(id_, now, line, outcome, t);
       completion = std::max(completion, t);
     }
   }
@@ -439,7 +476,7 @@ void StreamingMultiprocessor::release_barrier_if_complete(ResidentBlock& b) {
   b.barrier_arrived = 0;
 }
 
-void StreamingMultiprocessor::handle_exit(Warp& w) {
+void StreamingMultiprocessor::handle_exit(Warp& w, Cycle now) {
   GRS_CHECK(w.inflight == 0 && w.pending_writes == 0);
   w.exited = true;
   ResidentBlock& b = blocks_[w.block];
@@ -447,18 +484,21 @@ void StreamingMultiprocessor::handle_exit(Warp& w) {
   GRS_CHECK(resident_warps_ > 0);
   --resident_warps_;
 
+  if (trace_) trace_->warp_exit(id_, warp_slot_of(w), now);
+
   if (b.is_shared() && cfg_.sharing.resource == Resource::kRegisters) {
     // Shared registers release when their holder warp finishes (paper §III-A).
     pairs_[b.pair_id].locks.reg_release_on_warp_finish(b.side, w.pos_in_block);
+    if (trace_) trace_->lock_release_warp(id_, b.pair_id, now, b.side, w.pos_in_block);
   }
 
   // An exited warp counts as arrived at any barrier the rest are waiting on.
   release_barrier_if_complete(b);
 
-  if (b.finished()) finish_block(w.block);
+  if (b.finished()) finish_block(w.block, now);
 }
 
-void StreamingMultiprocessor::finish_block(BlockSlot bs) {
+void StreamingMultiprocessor::finish_block(BlockSlot bs, Cycle now) {
   ResidentBlock& b = blocks_[bs];
   GRS_CHECK(b.finished());
   b.active = false;
@@ -466,11 +506,14 @@ void StreamingMultiprocessor::finish_block(BlockSlot bs) {
   --resident_blocks_;
   ++stats_.blocks_finished;
 
+  if (trace_) trace_->block_finish(id_, bs, b.block_uid, now);
+
   for (std::uint32_t i = 0; i < b.num_warps; ++i) warps_[b.first_warp_slot + i].active = false;
 
   if (b.is_shared()) {
     PairState& p = pairs_[b.pair_id];
     p.locks.on_block_finish(b.side);
+    if (trace_) trace_->lock_release_block(id_, b.pair_id, now, b.side);
     // Ownership transfer (paper §IV-A): the surviving partner becomes the
     // owner; if the pair is now empty, the next launch re-seeds ownership.
     const BlockSlot partner_slot = occ_.unshared_blocks +
@@ -484,6 +527,7 @@ void StreamingMultiprocessor::finish_block(BlockSlot bs) {
         p.owner_side = 1 - b.side;
         p.locks.set_entitled(p.owner_side);
         ++stats_.ownership_transfers;
+        if (trace_) trace_->ownership_transfer(id_, b.pair_id, now, p.owner_side);
       }
     } else {
       p.owner_side = PairLockState::kNoSide;

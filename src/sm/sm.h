@@ -35,16 +35,23 @@
 
 namespace grs {
 
+namespace obs {
+class SimObserver;
+}
+
 class StreamingMultiprocessor {
  public:
   /// Invoked when a resident block finishes, so the dispatcher can refill
   /// the slot. Called after ownership transfer has been applied.
   using BlockFinishFn = std::function<void(SmId, BlockSlot)>;
 
+  /// `obs` (optional) receives event-trace hooks; it is consulted once here
+  /// and ignored thereafter unless tracing is enabled, so the default-null
+  /// case costs one untaken branch per hook site (src/obs/obs.h).
   StreamingMultiprocessor(SmId id, const GpuConfig& cfg, const Program& program,
                           const KernelResources& res, const Occupancy& occ,
                           std::uint32_t active_lanes, MemorySystem& memsys,
-                          const DynThrottle* dyn);
+                          const DynThrottle* dyn, obs::SimObserver* obs = nullptr);
 
   void set_block_finish_callback(BlockFinishFn fn) { on_block_finish_ = std::move(fn); }
 
@@ -99,6 +106,27 @@ class StreamingMultiprocessor {
   [[nodiscard]] SmId id() const { return id_; }
   [[nodiscard]] const Occupancy& occupancy() const { return occ_; }
   [[nodiscard]] std::uint32_t resident_blocks() const { return resident_blocks_; }
+  [[nodiscard]] std::uint32_t resident_warps() const { return resident_warps_; }
+
+  // --- timeline sampling (gpu/gpu.cc; event mode) ------------------------
+  /// Counters as they will stand at cycle `c` >= the last stepped cycle,
+  /// assuming the SM sleeps through the gap: the last scan's per-cycle delta
+  /// replayed `c - last_stepped` times without touching live state. This is
+  /// the same replay flush_idle_accounting() applies at the end of the run,
+  /// so sampled values are bit-identical to stepping every cycle.
+  [[nodiscard]] SmStats stats_at(Cycle c) const {
+    SmStats s = stats_;
+    if (c > last_stepped_) s.accumulate_scaled_delta(step_begin_stats_, stats_, c - last_stepped_);
+    return s;
+  }
+  [[nodiscard]] std::uint64_t l1_accesses() const { return l1_.accesses; }
+  [[nodiscard]] std::uint64_t l1_misses() const { return l1_.misses; }
+  [[nodiscard]] std::uint32_t l1_mshr_inflight() const {
+    return static_cast<std::uint32_t>(l1_.inflight());
+  }
+  [[nodiscard]] std::uint32_t warp_slots() const {
+    return static_cast<std::uint32_t>(warps_.size());
+  }
 
   // --- introspection for tests -------------------------------------------
   [[nodiscard]] const ResidentBlock& block(BlockSlot s) const { return blocks_[s]; }
@@ -129,12 +157,15 @@ class StreamingMultiprocessor {
   void issue(Warp& w, const Instruction& ins, Cycle now);
   void do_global_access(Warp& w, const Instruction& ins, Cycle now, std::uint64_t instr_seq,
                         std::uint64_t instr_uid);
-  void handle_exit(Warp& w);
-  void finish_block(BlockSlot bs);
+  void handle_exit(Warp& w, Cycle now);
+  void finish_block(BlockSlot bs, Cycle now);
   void release_barrier_if_complete(ResidentBlock& b);
   [[nodiscard]] bool needs_reg_lock(const ResidentBlock& b, const Instruction& ins) const;
   [[nodiscard]] bool needs_smem_lock(const ResidentBlock& b, const Instruction& ins) const;
-  void acquire_with_ownership(PairState& p, int side, bool reg, std::uint32_t pos);
+  void acquire_with_ownership(PairState& p, int side, bool reg, std::uint32_t pos, Cycle now);
+  [[nodiscard]] std::uint32_t pair_id_of(const PairState& p) const {
+    return static_cast<std::uint32_t>(&p - pairs_.data());
+  }
   [[nodiscard]] std::uint32_t warp_slot_of(const Warp& w) const {
     return static_cast<std::uint32_t>(&w - warps_.data());
   }
@@ -177,6 +208,10 @@ class StreamingMultiprocessor {
   Cycle idle_until_ = 0;                ///< end of the current known-idle window
   Cycle last_stepped_ = 0;              ///< last cycle step() actually ran
   BlockFinishFn on_block_finish_;
+  obs::SimObserver* trace_ = nullptr;   ///< null unless event tracing is on
+  /// Cycle currently being stepped; lets dispatcher-driven launch_block()
+  /// (called from inside finish_block) stamp trace events. 0 = initial fill.
+  Cycle now_ = 0;
 
   // scratch buffers (avoid per-cycle allocation)
   std::vector<SchedCandidate> cands_;

@@ -1,0 +1,333 @@
+// Observability contracts (src/obs, docs/observability.md):
+//  * determinism — trace JSON and timeline CSV are byte-identical across
+//    exec_mode cycle/event (transition slices + catch-up samples) and across
+//    run_sweep worker counts (buffered post-sweep writes);
+//  * zero cost when off — a null/disabled observer leaves GpuStats
+//    bit-identical to a plain simulate() and produces no output;
+//  * shape — trace events carry ph/pid/tid/ts with timestamps monotone per
+//    (pid, tid) track, the format Perfetto requires;
+//  * telemetry — RunManifest renders the documented v1 schema.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/config.h"
+#include "gpu/simulator.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "runner/engine.h"
+#include "runner/manifest.h"
+#include "workloads/suites.h"
+
+namespace grs {
+namespace {
+
+KernelInfo shrink(KernelInfo k, std::uint32_t blocks) {
+  k.grid_blocks = blocks;
+  return k;
+}
+
+struct ObsRun {
+  SimResult result;
+  std::string trace;
+  std::string timeline;
+};
+
+ObsRun run_observed(GpuConfig cfg, const KernelInfo& kernel, const obs::ObsOptions& opts) {
+  obs::SimObserver observer(opts);
+  ObsRun r;
+  r.result = simulate(cfg, kernel, &observer);
+  r.trace = observer.trace_json();
+  r.timeline = observer.timeline_csv();
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+// The configurations whose hook streams exercise every event family: plain,
+// register sharing (locks + releases), and the unroll+dyn runtime (ownership
+// transfers, dyn gating).
+std::vector<std::pair<std::string, GpuConfig>> trace_configs() {
+  return {{"unshared", configs::unshared()},
+          {"shared-reg", configs::shared_noopt(Resource::kRegisters, 0.1)},
+          {"shared-reg-unroll-dyn", configs::shared_unroll_dyn(Resource::kRegisters, 0.1)}};
+}
+
+// --- determinism across execution modes ------------------------------------
+
+TEST(ObsTrace, ByteIdenticalAcrossExecModes) {
+  const KernelInfo kernels[] = {shrink(workloads::hotspot(), 8),
+                                shrink(workloads::btree(), 8)};
+  obs::ObsOptions opts;
+  opts.trace = true;
+  for (const KernelInfo& k : kernels) {
+    for (const auto& [name, base] : trace_configs()) {
+      GpuConfig cfg = base;
+      cfg.exec_mode = ExecMode::kCycle;
+      const ObsRun naive = run_observed(cfg, k, opts);
+      cfg.exec_mode = ExecMode::kEvent;
+      const ObsRun event = run_observed(cfg, k, opts);
+      EXPECT_TRUE(naive.result.stats == event.result.stats) << k.name << " / " << name;
+      EXPECT_EQ(naive.trace, event.trace) << k.name << " / " << name;
+      EXPECT_FALSE(naive.trace.empty()) << k.name << " / " << name;
+    }
+  }
+}
+
+TEST(ObsTimeline, ByteIdenticalAcrossExecModes) {
+  // Memory-bound kernel: the event loop sleeps through long idle windows, so
+  // a small interval forces catch-up samples inside sleep/jump regions.
+  const KernelInfo k = shrink(workloads::btree(), 12);
+  for (const Cycle interval : {50u, 1000u}) {
+    obs::ObsOptions opts;
+    opts.timeline_interval = interval;
+    GpuConfig cfg = configs::unshared();
+    cfg.exec_mode = ExecMode::kCycle;
+    const ObsRun naive = run_observed(cfg, k, opts);
+    cfg.exec_mode = ExecMode::kEvent;
+    const ObsRun event = run_observed(cfg, k, opts);
+    EXPECT_TRUE(naive.result.stats == event.result.stats) << interval;
+    EXPECT_EQ(naive.timeline, event.timeline) << "interval " << interval;
+    EXPECT_NE(naive.timeline.find("cycle,sm,issued,stall,idle"), std::string::npos);
+    EXPECT_NE(naive.timeline.find(",gpu,"), std::string::npos)
+        << "timeline should carry gpu pseudo-rows";
+  }
+}
+
+TEST(ObsTimeline, DynThrottledLineAcrossExecModes) {
+  const KernelInfo k = shrink(workloads::btree(), 12);
+  obs::ObsOptions opts;
+  opts.timeline_interval = 128;
+  GpuConfig cfg = configs::shared_unroll_dyn(Resource::kRegisters, 0.1);
+  cfg.exec_mode = ExecMode::kCycle;
+  const ObsRun naive = run_observed(cfg, k, opts);
+  cfg.exec_mode = ExecMode::kEvent;
+  const ObsRun event = run_observed(cfg, k, opts);
+  EXPECT_EQ(naive.timeline, event.timeline);
+}
+
+// --- zero cost when off -----------------------------------------------------
+
+TEST(ObsOff, StatsIdenticalWithTracingOnOrOff) {
+  const KernelInfo k = shrink(workloads::hotspot(), 8);
+  for (const auto& [name, cfg] : trace_configs()) {
+    const SimResult plain = simulate(cfg, k);
+    const SimResult with_null = simulate(cfg, k, nullptr);
+    obs::ObsOptions opts;
+    opts.trace = true;
+    opts.timeline_interval = 100;
+    const ObsRun observed = run_observed(cfg, k, opts);
+    EXPECT_TRUE(plain.stats == with_null.stats) << name;
+    EXPECT_TRUE(plain.stats == observed.result.stats) << name;
+    EXPECT_EQ(plain.occupancy.total_blocks, observed.result.occupancy.total_blocks) << name;
+  }
+}
+
+TEST(ObsOff, DisabledObserverProducesNoOutput) {
+  const obs::ObsOptions off;  // trace=false, timeline off
+  EXPECT_FALSE(off.any());
+  obs::SimObserver observer(off);
+  EXPECT_FALSE(observer.trace_enabled());
+  const SimResult r = simulate(configs::unshared(), shrink(workloads::hotspot(), 4),
+                               &observer);
+  EXPECT_GT(r.stats.cycles, 0u);
+  EXPECT_TRUE(observer.trace_json().empty());
+  EXPECT_TRUE(observer.timeline_csv().empty());
+}
+
+TEST(ObsOff, ExternalNullSinkCountsEventsButKeepsJsonEmpty) {
+  obs::ObsOptions opts;
+  obs::NullTraceSink sink;
+  obs::SimObserver observer(opts, &sink);  // external sink implies tracing
+  EXPECT_TRUE(observer.trace_enabled());
+  (void)simulate(configs::unshared(), shrink(workloads::hotspot(), 4), &observer);
+  EXPECT_GT(sink.events(), 0u);
+  EXPECT_TRUE(observer.trace_json().empty());  // the sink is not owned
+}
+
+// --- trace shape ------------------------------------------------------------
+
+/// Extract `"key":<number>` from a one-event JSON line; -1 when absent.
+std::int64_t json_num(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtoll(line.c_str() + at + needle.size(), nullptr, 10);
+}
+
+TEST(ObsTrace, EventsCarryCoordinatesAndMonotoneTimestampsPerTrack) {
+  obs::ObsOptions opts;
+  opts.trace = true;
+  const ObsRun run = run_observed(configs::shared_unroll_dyn(Resource::kRegisters, 0.1),
+                                  shrink(workloads::btree(), 8), opts);
+  ASSERT_EQ(run.trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(run.trace.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(run.trace.find("\"otherData\""), std::string::npos);
+
+  std::istringstream lines(run.trace);
+  std::string line;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::int64_t> last_ts;
+  std::size_t events = 0, meta = 0;
+  while (std::getline(lines, line)) {
+    const std::size_t ph_at = line.find("\"ph\":\"");
+    if (ph_at == std::string::npos) continue;
+    const char ph = line[ph_at + 6];
+    const std::int64_t pid = json_num(line, "pid");
+    const std::int64_t tid = json_num(line, "tid");
+    ASSERT_GE(pid, 0) << line;
+    ASSERT_GE(tid, 0) << line;
+    if (ph == 'M') {
+      ++meta;
+      continue;  // metadata records carry no timestamp
+    }
+    ++events;
+    const std::int64_t ts = json_num(line, "ts");
+    ASSERT_GE(ts, 0) << line;
+    if (ph == 'X') {
+      ASSERT_GE(json_num(line, "dur"), 0) << line;
+    }
+    auto [it, fresh] = last_ts.emplace(std::make_pair(pid, tid), ts);
+    if (!fresh) {
+      ASSERT_LE(it->second, ts) << "ts regressed on track (" << pid << "," << tid
+                                << "): " << line;
+      it->second = ts;
+    }
+  }
+  EXPECT_GT(meta, 0u);
+  EXPECT_GT(events, 0u);
+}
+
+// --- engine integration -----------------------------------------------------
+
+runner::SweepSpec small_spec() {
+  runner::SweepSpec spec;
+  const KernelInfo k = shrink(workloads::hotspot(), 6);
+  for (const auto& [name, cfg] : trace_configs()) spec.add(name, cfg, k);
+  return spec;
+}
+
+TEST(ObsEngine, SweepFilesByteIdenticalAcrossThreadCounts) {
+  namespace fs = std::filesystem;
+  const std::string root = testing::TempDir() + "/grs_obs_threads";
+  fs::remove_all(root);
+  const runner::SweepSpec spec = small_spec();
+  std::vector<std::vector<runner::SweepRow>> all_rows;
+  for (const unsigned threads : {1u, 8u}) {
+    const std::string dir = root + "/t" + std::to_string(threads);
+    fs::create_directories(dir);
+    runner::RunOptions options;
+    options.threads = threads;
+    options.trace_path = dir + "/trace.json";
+    options.timeline_path = dir + "/timeline.csv";
+    options.timeline_interval = 200;
+    all_rows.push_back(runner::run_sweep(spec, options));
+  }
+  for (std::size_t i = 0; i < spec.points.size(); ++i) {
+    const std::string suffix = "." + std::to_string(i);
+    EXPECT_EQ(slurp(root + "/t1/trace" + suffix + ".json"),
+              slurp(root + "/t8/trace" + suffix + ".json"))
+        << i;
+    EXPECT_EQ(slurp(root + "/t1/timeline" + suffix + ".csv"),
+              slurp(root + "/t8/timeline" + suffix + ".csv"))
+        << i;
+    EXPECT_TRUE(all_rows[0][i].result.stats == all_rows[1][i].result.stats) << i;
+  }
+}
+
+TEST(ObsEngine, ObservedRunsBypassTheResultCache) {
+  namespace fs = std::filesystem;
+  const std::string root = testing::TempDir() + "/grs_obs_cache_bypass";
+  fs::remove_all(root);
+  fs::create_directories(root + "/out");
+  runner::RunOptions options;
+  options.threads = 1;
+  options.cache_dir = root + "/cache";
+  options.cache_mode = cache::CacheMode::kReadWrite;
+  options.trace_path = root + "/out/trace.json";
+  const std::vector<runner::SweepRow> rows = runner::run_sweep(small_spec(), options);
+  for (const runner::SweepRow& row : rows) {
+    EXPECT_FALSE(row.from_cache);
+  }
+  // The cache is bypassed entirely: never even opened, so nothing on disk.
+  EXPECT_FALSE(fs::exists(root + "/cache"));
+}
+
+TEST(ObsEngine, PointPathNaming) {
+  EXPECT_EQ(runner::obs_point_path("trace.json", 3, 1), "trace.json");
+  EXPECT_EQ(runner::obs_point_path("trace.json", 3, 5), "trace.3.json");
+  EXPECT_EQ(runner::obs_point_path("a/b.json", 2, 5), "a/b.2.json");
+  EXPECT_EQ(runner::obs_point_path("noext", 2, 5), "noext.2");
+  EXPECT_EQ(runner::obs_point_path("dir.d/file", 2, 5), "dir.d/file.2");
+}
+
+TEST(ObsEngine, RowsCarryWallClockTelemetry) {
+  runner::RunOptions options;
+  options.threads = 1;
+  const std::vector<runner::SweepRow> rows = runner::run_sweep(small_spec(), options);
+  for (const runner::SweepRow& row : rows) {
+    EXPECT_GE(row.wall_ms, 0.0);
+    EXPECT_FALSE(row.from_cache);
+  }
+}
+
+// --- run manifest -----------------------------------------------------------
+
+TEST(ObsManifest, RendersV1SchemaWithSweepsAndCache) {
+  const std::vector<runner::SweepRow> rows = runner::run_sweep(small_spec(), {});
+  runner::RunManifest manifest("test-tool");
+  manifest.add_sweep("unit", rows, 0.5, 2);
+  cache::CacheStats stats;
+  stats.hits = 3;
+  stats.misses = 1;
+  manifest.set_cache_stats(stats);
+  const std::string json = manifest.to_json();
+  for (const char* key :
+       {"\"schema\":\"grs-run-manifest-v1\"", "\"tool\":\"test-tool\"", "\"host\"",
+        "\"hardware_threads\"", "\"cache\"", "\"hits\":3", "\"sweeps\"",
+        "\"name\":\"unit\"", "\"threads\":2", "\"sims_per_second\"",
+        "\"pool_utilization\"", "\"cells\"", "\"config_fingerprint\"", "\"wall_ms\"",
+        "\"from_cache\"", "\"cycles\"", "\"ipc\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Every cell records the 64-hex config fingerprint the cache keys on.
+  EXPECT_NE(json.find(rows[0].point.config.fingerprint()), std::string::npos);
+
+  const std::string path = testing::TempDir() + "/grs_obs_manifest.json";
+  manifest.write(path);
+  EXPECT_EQ(slurp(path), json);
+}
+
+TEST(ObsManifest, WriteFailureThrows) {
+  runner::RunManifest manifest("test-tool");
+  EXPECT_THROW(manifest.write("/nonexistent-dir-xyz/manifest.json"), std::runtime_error);
+}
+
+// --- host clock -------------------------------------------------------------
+
+TEST(ObsClock, MonotonicAndNonNegative) {
+  const double a = monotonic_seconds();
+  const double b = monotonic_seconds();
+  EXPECT_LE(a, b);
+  WallTimer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.restart();
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace grs
