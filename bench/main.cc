@@ -21,6 +21,10 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/parse.h"
+#include "perf_suite.h"
+#include "prof/perf_record.h"
+#include "prof/prof.h"
 #include "runner/cli_options.h"
 #include "runner/manifest.h"
 #include "runner/progress.h"
@@ -54,8 +58,13 @@ void print_help() {
       "%s"
       "  --exec-mode M     force cycle | event on every sweep point (default:\n"
       "                    whatever the configs say — event); bit-identical stats\n"
-      "  --progress        live stderr ticker (cells done/total, sims/s, ETA);\n"
-      "                    stderr only, never interleaved with stdout results\n"
+      "  --perf-record FILE  run the pinned perf suite (fig8 hotspot, one study\n"
+      "                    slice, one corpus kernel) instead of benches and write\n"
+      "                    a grs-perf-record-v1 JSON; diff against a committed\n"
+      "                    baseline with scripts/perf_check.py\n"
+      "                    (docs/perf-tracking.md)\n"
+      "  --perf-reps N     timed repetitions per suite point, median reported\n"
+      "                    (default 5)\n"
       "  --table           also print the generic per-sweep console table\n"
       "  --quiet           skip the paper-shaped presenters (sinks still run;\n"
       "                    note: the study bench writes its reports from its\n"
@@ -78,9 +87,12 @@ void list_benches() {
 int main(int argc, char** argv) {
   std::vector<std::string> selected;
   runner::CommonOptions opts;
-  bool table = false, quiet = false, progress = false;
+  bool table = false, quiet = false;
   bool exec_mode_set = false;
   ExecMode exec_mode = ExecMode::kEvent;
+  std::string perf_record_path;
+  int perf_reps = 5;
+  bool perf_reps_set = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -103,8 +115,16 @@ int main(int argc, char** argv) {
         else if (m == "event") exec_mode = ExecMode::kEvent;
         else usage("unknown --exec-mode (cycle | event)");
         exec_mode_set = true;
-      } else if (a == "--progress") {
-        progress = true;
+      } else if (a == "--perf-record") {
+        perf_record_path = next();
+        if (perf_record_path.empty()) usage("--perf-record expects a file name");
+      } else if (a == "--perf-reps") {
+        const std::string value = next();
+        const auto v = parse_u32(value);
+        if (!v.has_value() || *v == 0 || *v > 1000)
+          usage("--perf-reps expects an integer in [1, 1000], got '" + value + "'");
+        perf_reps = static_cast<int>(*v);
+        perf_reps_set = true;
       } else if (a == "--table") {
         table = true;
       } else if (a == "--quiet") {
@@ -118,6 +138,40 @@ int main(int argc, char** argv) {
     opts.finalize();
   } catch (const runner::UsageError& e) {
     usage(e.what());
+  }
+
+  if (perf_reps_set && perf_record_path.empty())
+    usage("--perf-reps only applies together with --perf-record FILE");
+
+  if (!perf_record_path.empty()) {
+    // The record must measure the pinned suite, fresh, with nothing skewing
+    // the clock: no bench selection, caching, observability, or profiling
+    // flags apply (the record embeds its own profiled rep).
+    if (!selected.empty() || exec_mode_set || table || quiet || !opts.filter.empty() ||
+        !opts.out_csv.empty() || !opts.out_json.empty() || opts.cache_enabled() ||
+        opts.obs_enabled() || opts.prof_enabled() || !opts.manifest_path.empty()) {
+      usage("--perf-record runs the pinned perf suite by itself; only --threads, "
+            "--perf-reps and --progress apply");
+    }
+    try {
+      prof::PerfRecordOptions record_opts;
+      record_opts.reps = perf_reps;
+      record_opts.threads = opts.threads == 0 ? 1 : opts.threads;  // pinned: stable timing
+      record_opts.verbose = opts.progress;
+      const std::string json = record_perf(default_perf_suite(), record_opts);
+      std::ofstream f(perf_record_path, std::ios::binary | std::ios::trunc);
+      if (!f) usage("cannot open " + perf_record_path);
+      f.write(json.data(), static_cast<std::streamsize>(json.size()));
+      if (!f) {
+        std::fprintf(stderr, "error: failed writing %s\n", perf_record_path.c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "[grs_bench] wrote perf record to %s\n", perf_record_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: perf record: %s\n", e.what());
+      return 2;
+    }
+    return 0;
   }
 
   std::vector<const runner::BenchDef*> to_run;
@@ -155,6 +209,7 @@ int main(int argc, char** argv) {
   if (table) sinks.push_back(std::make_unique<runner::ConsoleTableSink>());
 
   cache::CacheStats cache_total;
+  prof::HostProfiler prof_total;  // one merged profile across all benches
   runner::RunManifest manifest("grs_bench");
   for (auto& s : sinks) s->begin();
   for (const runner::BenchDef* b : to_run) {
@@ -163,9 +218,9 @@ int main(int argc, char** argv) {
     if (exec_mode_set)
       for (runner::SweepPoint& p : spec.points) p.config.exec_mode = exec_mode;
 
-    runner::RunOptions options = opts.run_options(&cache_total);
+    runner::RunOptions options = opts.run_options(&cache_total, &prof_total);
     runner::ProgressTicker ticker("[grs_bench]");
-    if (progress)
+    if (opts.progress)
       options.progress = [&ticker](std::size_t done, std::size_t total) {
         ticker.update(done, total);
       };
@@ -213,6 +268,14 @@ int main(int argc, char** argv) {
   // an accepted no-op for older scripts).
   if (opts.cache_enabled())
     std::fprintf(stderr, "[grs_bench] cache: %s\n", cache_total.summary().c_str());
+  if (opts.prof_enabled()) {
+    try {
+      prof::write_prof_outputs(prof_total, opts.prof_path, opts.prof_folded_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
   if (!opts.manifest_path.empty()) {
     if (opts.cache_enabled()) manifest.set_cache_stats(cache_total);
     try {

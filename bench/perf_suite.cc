@@ -1,0 +1,56 @@
+#include "perf_suite.h"
+
+#include "common/check.h"
+#include "common/config.h"
+#include "runner/kernel_source.h"
+#include "runner/registry.h"
+
+namespace grs {
+
+std::vector<prof::PerfSuitePoint> default_perf_suite() {
+  std::vector<prof::PerfSuitePoint> suite;
+
+  // The headline bench, restricted to its flagship kernel.
+  {
+    const runner::BenchDef* fig8 = runner::find_bench("fig8");
+    GRS_CHECK_MSG(fig8 != nullptr, "perf suite: fig8 bench not registered");
+    prof::PerfSuitePoint p;
+    p.name = "fig8:hotspot";
+    p.spec = fig8->build();
+    p.spec.filter_kernels("hotspot");
+    GRS_CHECK_MSG(!p.spec.empty(), "perf suite: fig8 has no hotspot points");
+    suite.push_back(std::move(p));
+  }
+
+  // One sharing-study cell: a canonical-tag generated kernel, unshared vs
+  // the register-sharing line (the study engine's hot path).
+  {
+    const KernelInfo k = runner::resolve_kernel("gen:study-r44-sm0-m2-l32:1");
+    prof::PerfSuitePoint p;
+    p.name = "study:slice";
+    const GpuConfig base = configs::unshared();
+    const GpuConfig shared = configs::shared_owf_unroll_dyn(Resource::kRegisters, 0.1);
+    p.spec.add(base.line_label(), base, k);
+    p.spec.add(shared.line_label(), shared, k);
+    suite.push_back(std::move(p));
+  }
+
+  // One saved corpus kernel, cycle vs event mode (the equivalence pair).
+  {
+    const KernelInfo k =
+        runner::resolve_kernel(runner::default_corpus_dir() + "/staged_reduce.gkd");
+    prof::PerfSuitePoint p;
+    p.name = "corpus:staged_reduce";
+    GpuConfig cycle = configs::unshared();
+    cycle.exec_mode = ExecMode::kCycle;
+    GpuConfig event = configs::unshared();
+    event.exec_mode = ExecMode::kEvent;
+    p.spec.add("Unshared-LRR-cycle", cycle, k);
+    p.spec.add("Unshared-LRR-event", event, k);
+    suite.push_back(std::move(p));
+  }
+
+  return suite;
+}
+
+}  // namespace grs

@@ -1,0 +1,24 @@
+// The pinned perf suite behind `grs_bench --perf-record` (prof/perf_record.h
+// runs it). Lives in bench/ because it draws the fig8 grid from the bench
+// registry, which only links into grs_bench.
+#pragma once
+
+#include <vector>
+
+#include "prof/perf_record.h"
+
+namespace grs {
+
+/// Three suite points, chosen to stay CI-sized while covering the hot paths:
+///  * "fig8:hotspot"  — the headline bench restricted to the hotspot kernel
+///                      (sharing runtime, OWF scheduling, event mode);
+///  * "study:slice"   — one sharing-study generator cell, unshared vs shared
+///                      (generated-kernel path);
+///  * "corpus:staged_reduce" — one saved .gkd kernel, cycle + event modes
+///                      (the mode-equivalence pair the fuzz oracle checks).
+/// Changing this suite invalidates every committed baseline's `cycles`
+/// anchor — refresh bench/baselines/ in the same commit
+/// (docs/perf-tracking.md).
+[[nodiscard]] std::vector<prof::PerfSuitePoint> default_perf_suite();
+
+}  // namespace grs

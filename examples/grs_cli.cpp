@@ -22,10 +22,12 @@
 #include "common/config.h"
 #include "common/parse.h"
 #include "gpu/simulator.h"
+#include "prof/prof.h"
 #include "runner/cli_options.h"
 #include "runner/engine.h"
 #include "runner/kernel_source.h"
 #include "runner/manifest.h"
+#include "runner/progress.h"
 #include "runner/sink.h"
 #include "runner/thread_pool.h"
 #include "study/study.h"
@@ -254,11 +256,11 @@ int main(int argc, char** argv) {
     // flag it would otherwise silently ignore.
     if (kernel_set || load_set || gen_set || trace_set || sweep || compare || grid != 0 ||
         !dump_file.empty() || !opts.out_csv.empty() || share != "none" || sched_set ||
-        t_set || unroll || dyn || exec_set || opts.obs_enabled() ||
-        !opts.manifest_path.empty()) {
+        t_set || unroll || dyn || exec_set || opts.obs_enabled() || opts.prof_enabled() ||
+        opts.progress || !opts.manifest_path.empty()) {
       usage("--study runs the full sharing study with its own kernels and configs; only "
             "--threads and --cache/--cache-mode/--cache-stats apply "
-            "(use grs_bench for --trace/--timeline/--manifest)");
+            "(use grs_bench for --trace/--timeline/--manifest/--prof/--progress)");
     }
     try {
       study::StudyOptions options;
@@ -319,12 +321,32 @@ int main(int argc, char** argv) {
   }
 
   cache::CacheStats cache_total;
+  prof::HostProfiler prof_total;  // one merged profile across all sweeps
+  runner::ProgressTicker ticker("[grs_cli]");
   runner::RunManifest manifest("grs_cli");
+  // Engine options shared by every simulating path; the same accumulators
+  // feed them all, so one cache summary / profile file covers the invocation.
+  auto engine_options = [&]() {
+    runner::RunOptions run = opts.run_options(&cache_total, &prof_total);
+    if (opts.progress)
+      run.progress = [&ticker](std::size_t done, std::size_t total) {
+        ticker.update(done, total);
+      };
+    return run;
+  };
   // Shared tail of every simulating path: cache summary on stderr whenever the
-  // cache was in play, then the --manifest telemetry file.
+  // cache was in play, then the --prof/--prof-folded and --manifest files.
   auto finish_run = [&]() -> int {
     if (opts.cache_enabled())
       std::fprintf(stderr, "[grs_cli] cache: %s\n", cache_total.summary().c_str());
+    if (opts.prof_enabled()) {
+      try {
+        prof::write_prof_outputs(prof_total, opts.prof_path, opts.prof_folded_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    }
     if (!opts.manifest_path.empty()) {
       if (opts.cache_enabled()) manifest.set_cache_stats(cache_total);
       try {
@@ -353,11 +375,13 @@ int main(int argc, char** argv) {
     const WallTimer timer;
     std::vector<runner::SweepRow> rows;
     try {
-      rows = runner::run_sweep(spec, opts.run_options(&cache_total));
+      rows = runner::run_sweep(spec, engine_options());
     } catch (const std::exception& e) {
+      ticker.finish();
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
     }
+    ticker.finish();
     if (!opts.manifest_path.empty())
       manifest.add_sweep("sweep", rows, timer.seconds(), threads_used(rows.size()));
 
@@ -390,7 +414,8 @@ int main(int argc, char** argv) {
     runner::SweepSpec spec;
     spec.add(c.line_label(), c, kernel);
     const WallTimer timer;
-    std::vector<runner::SweepRow> rows = runner::run_sweep(spec, opts.run_options(&cache_total));
+    std::vector<runner::SweepRow> rows = runner::run_sweep(spec, engine_options());
+    ticker.finish();
     if (!opts.manifest_path.empty())
       manifest.add_sweep(c.line_label(), rows, timer.seconds(), threads_used(rows.size()));
     return rows[0].result;

@@ -84,10 +84,11 @@ sys.exit(0 if ok else 1)
 EOF
 ) || { printf '%s\n' "$drift" >&2; echo "error: documented flags drifted from --help" >&2; fail=1; }
 
-# --- 2b. observability flags must exist in both helps -------------------------
+# --- 2b. observability + profiling flags must exist in both helps -------------
 # The flag-drift check above only catches flags the docs mention; this pins the
-# observability surface itself so it cannot be dropped from either binary.
-for flag in --trace --timeline --timeline-interval --manifest; do
+# observability/perf surface itself so it cannot be dropped from either binary.
+for flag in --trace --timeline --timeline-interval --manifest \
+            --prof --prof-folded --progress; do
   for tool in grs_cli grs_bench; do
     help_text=$cli_help
     [ "$tool" = grs_bench ] && help_text=$bench_help
@@ -97,10 +98,12 @@ for flag in --trace --timeline --timeline-interval --manifest; do
     fi
   done
 done
-if ! grep -qe "^  --progress " <<<"$bench_help"; then
-  echo "error: grs_bench --help no longer documents --progress" >&2
-  fail=1
-fi
+for flag in --perf-record --perf-reps; do
+  if ! grep -qe "^  $flag " <<<"$bench_help"; then
+    echo "error: grs_bench --help no longer documents $flag (bench/main.cc)" >&2
+    fail=1
+  fi
+done
 
 # --- 3. every registered bench is documented ----------------------------------
 while read -r name _; do

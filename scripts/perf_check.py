@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Diff a grs perf record against a committed baseline; fail on regression.
+
+Both files are grs-perf-record-v1 JSON written by `grs_bench --perf-record`
+(docs/perf-tracking.md). For every baseline suite point the record must
+contain a same-named point, and:
+
+  * `cycles` must match EXACTLY — always, on any host. The suite is
+    bit-deterministic, so a cycles diff means the simulator's behavior
+    changed and the baseline was not refreshed in the same commit: a hard
+    error, never noise.
+  * `wall_ms` is gated with a noise-aware threshold: a point regresses when
+    new > base * (1 + rel_tol) + abs_tol_ms. Wall timings only transfer
+    between identical hosts, so when the two host_fingerprint values differ
+    the timing gate is ADVISORY (warnings, exit 0) unless --strict forces
+    it — CI proves the checker works by diffing a record against itself
+    (--strict, green) and against a synthetically slowed copy (must fail).
+
+Usage:
+  perf_check.py RECORD BASELINE [--rel-tol 0.25] [--abs-tol-ms 50] [--strict]
+
+Exit: 0 clean/advisory, 1 regression or cycles mismatch, 2 bad input.
+"""
+import argparse
+import json
+import sys
+
+SCHEMA = "grs-perf-record-v1"
+
+
+def load_record(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {doc.get('schema')!r}, expected {SCHEMA!r}")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        raise ValueError(f"{path}: no suite points")
+    for p in points:
+        for key in ("name", "wall_ms", "cycles", "sims_per_sec"):
+            if key not in p:
+                raise ValueError(f"{path}: point missing {key!r}")
+    return doc
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description="Gate a perf record against a baseline.")
+    ap.add_argument("record", help="freshly recorded grs-perf-record-v1 JSON")
+    ap.add_argument("baseline", help="committed baseline (bench/baselines/*.json)")
+    ap.add_argument("--rel-tol", type=float, default=0.25,
+                    help="relative wall_ms headroom (default 0.25 = +25%%)")
+    ap.add_argument("--abs-tol-ms", type=float, default=50.0,
+                    help="absolute wall_ms headroom for tiny points (default 50)")
+    ap.add_argument("--strict", action="store_true",
+                    help="gate timings even across differing host fingerprints")
+    args = ap.parse_args(argv[1:])
+
+    try:
+        record = load_record(args.record)
+        baseline = load_record(args.baseline)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    rec_points = {p["name"]: p for p in record["points"]}
+    same_host = record.get("host_fingerprint") == baseline.get("host_fingerprint")
+    gate_timings = same_host or args.strict
+    if not same_host:
+        print(
+            f"warning: host fingerprint differs "
+            f"(record {record.get('host_fingerprint')!r} vs "
+            f"baseline {baseline.get('host_fingerprint')!r}); "
+            + ("--strict: gating timings anyway" if args.strict
+               else "timing comparison is advisory")
+        )
+
+    failures = 0
+    for base in baseline["points"]:
+        name = base["name"]
+        rec = rec_points.get(name)
+        if rec is None:
+            print(f"FAIL {name}: missing from record (suite changed? refresh the baseline)")
+            failures += 1
+            continue
+        if rec["cycles"] != base["cycles"]:
+            print(
+                f"FAIL {name}: cycles {rec['cycles']} != baseline {base['cycles']} — "
+                f"simulator behavior changed; refresh bench/baselines/ in this commit"
+            )
+            failures += 1
+            continue
+        limit = base["wall_ms"] * (1.0 + args.rel_tol) + args.abs_tol_ms
+        delta = (rec["wall_ms"] / base["wall_ms"] - 1.0) * 100.0 if base["wall_ms"] else 0.0
+        line = (
+            f"{name}: {rec['wall_ms']:.1f} ms vs baseline {base['wall_ms']:.1f} ms "
+            f"({delta:+.1f}%, limit {limit:.1f} ms)"
+        )
+        if rec["wall_ms"] > limit:
+            if gate_timings:
+                print(f"FAIL {line}")
+                failures += 1
+            else:
+                print(f"warn {line} [advisory: different host]")
+        else:
+            print(f"ok   {line}")
+
+    extra = set(rec_points) - {p["name"] for p in baseline["points"]}
+    for name in sorted(extra):
+        print(f"note {name}: new suite point not in baseline")
+
+    if failures:
+        print(f"{failures} perf check failure(s)", file=sys.stderr)
+        return 1
+    print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Roll a grs --timeline CSV into a "where do the sim-cycles go" report.
+
+Reads the per-SM counter timeline (docs/observability.md) and prints a
+Markdown report: the whole-GPU issued/stall/idle split, the top-N blocked
+reasons (what the candidate scans ran into), and a per-SM breakdown — the
+table a human reads before deciding what to optimize, closing the loop from
+raw PR 7 telemetry to the paper's habit of attributing every delta to a
+named mechanism.
+
+Cycle classes come from the issued/stall/idle columns (every scheduler-cycle
+is exactly one of them). Blocked reasons (blk_*, lock_wait, dyn_throttled)
+count warp-scan outcomes, not cycles, so they are reported as shares of all
+blocked-warp observations.
+
+Usage: stall_report.py timeline.csv [--top N] [--out FILE]
+Exit 1 on malformed input.
+"""
+import argparse
+import sys
+
+REASONS = [
+    ("blk_scoreboard", "scoreboard dependency"),
+    ("blk_barrier", "barrier wait"),
+    ("blk_mshr", "L1 MSHRs full"),
+    ("blk_lsu_port", "LSU issue port"),
+    ("blk_lsu_queue", "LSU queue full"),
+    ("blk_sfu_port", "SFU issue port"),
+    ("lock_wait", "sharing-lock wait"),
+    ("dyn_throttled", "dyn-throttle gate"),
+]
+
+
+def parse_timeline(path):
+    """Return (per_sm, gpu) dicts of summed counter columns."""
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines or not lines[0].startswith("cycle,sm,"):
+        raise ValueError(f"{path}: not a grs timeline CSV")
+    header = lines[0].split(",")
+    idx = {name: i for i, name in enumerate(header)}
+    needed = ["issued", "stall", "idle"] + [r for r, _ in REASONS]
+    for name in needed:
+        if name not in idx:
+            raise ValueError(f"{path}: missing column {name}")
+
+    per_sm = {}
+    gpu = {name: 0 for name in needed}
+    for lineno, line in enumerate(lines[1:], start=2):
+        cols = line.split(",")
+        if len(cols) != len(header):
+            raise ValueError(f"{path}:{lineno}: ragged row")
+        sm = cols[idx["sm"]]
+        try:
+            values = {name: int(cols[idx[name]]) for name in needed}
+        except ValueError as err:
+            raise ValueError(f"{path}:{lineno}: {err}") from err
+        if sm == "gpu":
+            for name in needed:
+                gpu[name] += values[name]
+        else:
+            acc = per_sm.setdefault(int(sm), {name: 0 for name in needed})
+            for name in needed:
+                acc[name] += values[name]
+    if not per_sm:
+        raise ValueError(f"{path}: no sample rows")
+    return per_sm, gpu
+
+
+def pct(part, whole):
+    return 100.0 * part / whole if whole else 0.0
+
+
+def report(per_sm, gpu, top, source):
+    out = []
+    cycles = gpu["issued"] + gpu["stall"] + gpu["idle"]
+    out.append(f"# Stall attribution — {source}")
+    out.append("")
+    out.append(f"Scheduler-cycles observed: {cycles} "
+               f"(across {len(per_sm)} SMs; sampled windows only)")
+    out.append("")
+    out.append("## Whole GPU: cycle classes")
+    out.append("")
+    out.append("| class | cycles | share |")
+    out.append("|---|---:|---:|")
+    for name in ("issued", "stall", "idle"):
+        out.append(f"| {name} | {gpu[name]} | {pct(gpu[name], cycles):.1f}% |")
+    out.append("")
+
+    blocked = sum(gpu[r] for r, _ in REASONS)
+    out.append(f"## Whole GPU: top blocked reasons (of {blocked} blocked-warp scans)")
+    out.append("")
+    out.append("| reason | scans | share |")
+    out.append("|---|---:|---:|")
+    ranked = sorted(REASONS, key=lambda r: gpu[r[0]], reverse=True)
+    for name, label in ranked[:top]:
+        if gpu[name] == 0:
+            continue
+        out.append(f"| {label} | {gpu[name]} | {pct(gpu[name], blocked):.1f}% |")
+    if blocked == 0:
+        out.append("| (none observed) | 0 | - |")
+    out.append("")
+
+    out.append("## Per SM")
+    out.append("")
+    out.append("| sm | issued% | stall% | idle% | top blocked reason |")
+    out.append("|---:|---:|---:|---:|---|")
+    for sm in sorted(per_sm):
+        acc = per_sm[sm]
+        c = acc["issued"] + acc["stall"] + acc["idle"]
+        name, label = max(REASONS, key=lambda r: acc[r[0]])
+        top_txt = f"{label} ({pct(acc[name], sum(acc[r] for r, _ in REASONS)):.1f}%)" \
+            if acc[name] else "-"
+        out.append(
+            f"| {sm} | {pct(acc['issued'], c):.1f} | {pct(acc['stall'], c):.1f} "
+            f"| {pct(acc['idle'], c):.1f} | {top_txt} |"
+        )
+    out.append("")
+    return "\n".join(out)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Roll a grs --timeline CSV into a stall-attribution report."
+    )
+    ap.add_argument("timeline", help="timeline CSV written by --timeline")
+    ap.add_argument("--top", type=int, default=5, help="top-N blocked reasons (default 5)")
+    ap.add_argument("--out", help="write the Markdown here instead of stdout")
+    args = ap.parse_args(argv[1:])
+    try:
+        per_sm, gpu = parse_timeline(args.timeline)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    md = report(per_sm, gpu, args.top, args.timeline)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(md)
+        print(f"wrote {args.out}")
+    else:
+        print(md)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

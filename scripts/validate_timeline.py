@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate a grs --timeline CSV against its documented shape.
+
+Checks the contract docs/observability.md states for timeline files:
+  * the header is exactly the column list src/obs/timeline.cc emits;
+  * rows come in boundary blocks: one row per SM (sm = 0..N-1, in order)
+    followed by exactly one "gpu" sum row;
+  * the cycle column is strictly increasing across boundaries and constant
+    within a block;
+  * per-SM rows leave the six gpu-only L2/DRAM columns empty; the gpu row
+    fills them with non-negative integers;
+  * the gpu row's additive counter columns equal the sum of the block's
+    per-SM rows (it is a sum row, not an independent sample).
+
+Usage: validate_timeline.py timeline.csv [more.csv ...]; exit 1 on any
+violation.
+"""
+import sys
+
+EXPECTED_HEADER = (
+    "cycle,sm,issued,stall,idle,warp_instr,thread_instr,ipc,"
+    "blk_scoreboard,blk_barrier,blk_mshr,blk_lsu_port,blk_lsu_queue,blk_sfu_port,"
+    "lock_wait,dyn_throttled,lock_acquired,ownership_transfers,"
+    "l1_accesses,l1_misses,resident_blocks,resident_warps,mshr_inflight,"
+    "l2_accesses,l2_misses,dram_requests,dram_row_hits,l2_busy_banks,dram_busy_banks"
+)
+COLUMNS = EXPECTED_HEADER.split(",")
+NUM_COLUMNS = len(COLUMNS)
+GPU_ONLY = 6  # trailing L2/DRAM columns, empty on per-SM rows
+# Additive counters the gpu row must sum exactly (ipc is a ratio, gauges and
+# the gpu-only block are excluded).
+SUMMED = [
+    c
+    for c in COLUMNS[2 : NUM_COLUMNS - GPU_ONLY]
+    if c != "ipc"
+]
+
+
+def validate(path: str) -> list:
+    problems = []
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        return [f"{path}: empty file"]
+    if lines[0] != EXPECTED_HEADER:
+        return [f"{path}: header mismatch (got {lines[0]!r})"]
+
+    idx = {name: i for i, name in enumerate(COLUMNS)}
+    last_cycle = 0
+    block_cycle = None  # cycle of the block currently being read
+    block_sms = 0
+    block_sums = {c: 0 for c in SUMMED}
+    expected_sms = None
+
+    def check_block_closed(where):
+        if block_cycle is not None:
+            problems.append(f"{where}: boundary {block_cycle} has no gpu sum row")
+
+    for lineno, line in enumerate(lines[1:], start=2):
+        where = f"{path}:{lineno}"
+        cols = line.split(",")
+        if len(cols) != NUM_COLUMNS:
+            problems.append(f"{where}: {len(cols)} columns, expected {NUM_COLUMNS}")
+            continue
+        try:
+            cycle = int(cols[idx["cycle"]])
+        except ValueError:
+            problems.append(f"{where}: non-integer cycle {cols[0]!r}")
+            continue
+        sm = cols[idx["sm"]]
+
+        if sm == "gpu":
+            if block_cycle is None or cycle != block_cycle:
+                problems.append(f"{where}: gpu row without preceding SM rows")
+            else:
+                if expected_sms is None:
+                    expected_sms = block_sms
+                elif block_sms != expected_sms:
+                    problems.append(
+                        f"{where}: boundary {cycle} has {block_sms} SM rows, "
+                        f"expected {expected_sms}"
+                    )
+                for name in SUMMED:
+                    try:
+                        got = int(cols[idx[name]])
+                    except ValueError:
+                        problems.append(f"{where}: non-integer {name} {cols[idx[name]]!r}")
+                        continue
+                    if got != block_sums[name]:
+                        problems.append(
+                            f"{where}: gpu {name}={got} != per-SM sum {block_sums[name]}"
+                        )
+                for name in COLUMNS[NUM_COLUMNS - GPU_ONLY :]:
+                    v = cols[idx[name]]
+                    if not v.isdigit():
+                        problems.append(f"{where}: gpu row {name}={v!r} not a count")
+            last_cycle = cycle
+            block_cycle = None
+            block_sms = 0
+            block_sums = {c: 0 for c in SUMMED}
+            continue
+
+        # per-SM row
+        if block_cycle is None:
+            if cycle <= last_cycle and last_cycle != 0:
+                problems.append(
+                    f"{where}: boundary {cycle} not past previous boundary {last_cycle}"
+                )
+            block_cycle = cycle
+        elif cycle != block_cycle:
+            check_block_closed(where)
+            block_cycle = cycle
+            block_sms = 0
+            block_sums = {c: 0 for c in SUMMED}
+        if not sm.isdigit() or int(sm) != block_sms:
+            problems.append(f"{where}: SM id {sm!r}, expected {block_sms} (in-order block)")
+        block_sms += 1
+        for name in COLUMNS[NUM_COLUMNS - GPU_ONLY :]:
+            if cols[idx[name]] != "":
+                problems.append(f"{where}: per-SM row fills gpu-only column {name}")
+        for name in SUMMED:
+            try:
+                block_sums[name] += int(cols[idx[name]])
+            except ValueError:
+                problems.append(f"{where}: non-integer {name} {cols[idx[name]]!r}")
+
+    check_block_closed(f"{path}:EOF")
+    if expected_sms is None and not problems:
+        problems.append(f"{path}: no sample rows")
+    return problems
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            problems = validate(path)
+        except OSError as err:
+            problems = [f"{path}: {err}"]
+        for p in problems:
+            print(f"error: {p}", file=sys.stderr)
+        if problems:
+            failed = True
+        else:
+            print(f"OK: {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,7 @@
 
 #include "gpu/gpu.h"
 #include "isa/reorder.h"
+#include "prof/prof.h"
 
 namespace grs {
 
@@ -9,7 +10,10 @@ SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel) {
   return simulate(cfg, kernel, nullptr);
 }
 
-SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel, obs::SimObserver* obs) {
+SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel, obs::SimObserver* obs,
+                   prof::HostProfiler* prof) {
+  // Root of every profiled sim stack; the nested phases live in sm/memsys.
+  prof::ScopedPhase prof_scope(prof, prof::Phase::kSimulate);
   cfg.validate();
   kernel.validate();
 
@@ -19,7 +23,7 @@ SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel, obs::SimObser
     program = reorder_registers_by_first_use(program);
   }
 
-  Gpu gpu(cfg, kernel, program, obs);
+  Gpu gpu(cfg, kernel, program, obs, prof);
   SimResult r;
   r.stats = gpu.run();
   r.occupancy = gpu.occupancy();

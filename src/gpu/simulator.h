@@ -19,6 +19,9 @@ namespace grs {
 namespace obs {
 class SimObserver;
 }
+namespace prof {
+class HostProfiler;
+}
 
 struct SimResult {
   GpuStats stats;
@@ -29,10 +32,11 @@ struct SimResult {
 [[nodiscard]] SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel);
 
 /// Observed run: `obs` (may be null) collects trace events and/or timeline
-/// samples for this one simulation (src/obs). The returned SimResult is
-/// bit-identical to the unobserved overload — observability never feeds back
-/// into the machine.
+/// samples, `prof` (may be null) host-phase timings, for this one simulation
+/// (src/obs, src/prof). The returned SimResult is bit-identical to the
+/// unobserved overload — observability never feeds back into the machine.
 [[nodiscard]] SimResult simulate(const GpuConfig& cfg, const KernelInfo& kernel,
-                                 obs::SimObserver* obs);
+                                 obs::SimObserver* obs,
+                                 prof::HostProfiler* prof = nullptr);
 
 }  // namespace grs

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/obs.h"
+#include "prof/prof.h"
 
 namespace grs {
 
@@ -39,6 +40,7 @@ void MemorySystem::set_observer(obs::SimObserver* o) {
 }
 
 Cycle MemorySystem::access(Addr line_addr, Cycle now) {
+  prof::ScopedPhase prof_scope(prof_, prof::Phase::kMemsys);
   // Interconnect transit, each way.
   const Cycle transit = (cfg_.l2_hit_latency - kL2PipeLatency) / 2;
 
@@ -66,8 +68,11 @@ Cycle MemorySystem::access(Addr line_addr, Cycle now) {
 
   // Primary miss (or MSHR full: bypass without fill).
   Dram::RequestInfo info;
-  const Cycle dram_ready =
-      dram_.request(line_addr, start + kL2PipeLatency, trace_ ? &info : nullptr);
+  Cycle dram_ready;
+  {
+    prof::ScopedPhase prof_dram(prof_, prof::Phase::kDram);
+    dram_ready = dram_.request(line_addr, start + kL2PipeLatency, trace_ ? &info : nullptr);
+  }
   if (!r.mshr_full) bank.tags.fill_inflight(line_addr, dram_ready);
   if (trace_) {
     trace_->l2_transaction(bank_idx, start, line_addr, false, false, dram_ready);

@@ -20,6 +20,9 @@ namespace grs {
 namespace obs {
 class SimObserver;
 }
+namespace prof {
+class HostProfiler;
+}
 
 class MemorySystem {
  public:
@@ -28,6 +31,9 @@ class MemorySystem {
   /// Trace L2/DRAM transaction lifecycles into `o` (null, or an observer
   /// without tracing, disables the hooks — the default).
   void set_observer(obs::SimObserver* o);
+
+  /// Time access()/DRAM service into `p` (null disables — the default).
+  void set_profiler(prof::HostProfiler* p) { prof_ = p; }
 
   /// One L1-miss transaction first observed at `now`; returns data-ready
   /// cycle at the SM. Deterministic in call order.
@@ -63,6 +69,7 @@ class MemorySystem {
   std::vector<L2Bank> banks_;
   Dram dram_;
   obs::SimObserver* trace_ = nullptr;  ///< null unless event tracing is on
+  prof::HostProfiler* prof_ = nullptr; ///< null unless --prof/--prof-folded
   /// Cycles an L2 bank is occupied per transaction.
   static constexpr Cycle kBankOccupancy = 2;
 };

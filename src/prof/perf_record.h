@@ -1,0 +1,46 @@
+// Perf records: the committed, machine-readable perf trajectory.
+//
+// record_perf() runs a suite of named sweep specs, times each spec over N
+// unprofiled repetitions (median wall — profiler overhead never skews the
+// numbers), then runs ONE extra profiled repetition for the phase breakdown,
+// and emits a "grs-perf-record-v1" JSON document. scripts/perf_check.py
+// diffs such a record against a committed baseline under bench/baselines/
+// with noise-aware thresholds; docs/perf-tracking.md describes the workflow.
+//
+// The per-point `cycles` field (summed sim cycles across the spec) is the
+// determinism anchor: it must match the baseline exactly on the same suite,
+// so a stale baseline after a simulator-behavior change is a hard checker
+// error, never a silent drift.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runner/sweep.h"
+
+namespace grs::prof {
+
+/// One named unit of the pinned suite (e.g. "fig8:hotspot").
+struct PerfSuitePoint {
+  std::string name;
+  runner::SweepSpec spec;
+};
+
+struct PerfRecordOptions {
+  /// Timed unprofiled repetitions per suite point; the median is reported.
+  /// Odd values give a true median.
+  int reps = 5;
+  /// Worker threads per repetition (engine semantics; 0 = hardware).
+  unsigned threads = 1;
+  /// Progress line per rep on stderr.
+  bool verbose = true;
+};
+
+/// Run the suite and return the grs-perf-record-v1 JSON document.
+/// Throws on validation/simulation failure. The pinned default suite lives
+/// in bench/perf_suite.h (it draws on the bench registry, which only links
+/// into grs_bench); tests exercise this function on tiny synthetic suites.
+[[nodiscard]] std::string record_perf(const std::vector<PerfSuitePoint>& suite,
+                                      const PerfRecordOptions& options);
+
+}  // namespace grs::prof

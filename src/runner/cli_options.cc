@@ -13,7 +13,8 @@ void CommonOptions::finalize() const {
     throw UsageError("--timeline-interval only applies together with --timeline FILE");
 }
 
-RunOptions CommonOptions::run_options(cache::CacheStats* stats_out) const {
+RunOptions CommonOptions::run_options(cache::CacheStats* stats_out,
+                                      prof::HostProfiler* prof_out) const {
   RunOptions run;
   run.threads = threads;
   run.cache_dir = cache_dir;
@@ -22,6 +23,7 @@ RunOptions CommonOptions::run_options(cache::CacheStats* stats_out) const {
   run.trace_path = trace_path;
   run.timeline_path = timeline_path;
   run.timeline_interval = timeline_interval;
+  run.prof = prof_enabled() ? prof_out : nullptr;
   return run;
 }
 
@@ -90,6 +92,20 @@ bool parse_common_flag(CommonOptions& opts, const CommonFlagSet& set, const std:
     if (opts.manifest_path.empty()) throw UsageError("--manifest expects a file name");
     return true;
   }
+  if (arg == "--prof") {
+    opts.prof_path = next();
+    if (opts.prof_path.empty()) throw UsageError("--prof expects a file name");
+    return true;
+  }
+  if (arg == "--prof-folded") {
+    opts.prof_folded_path = next();
+    if (opts.prof_folded_path.empty()) throw UsageError("--prof-folded expects a file name");
+    return true;
+  }
+  if (arg == "--progress") {
+    opts.progress = true;
+    return true;
+  }
   return false;
 }
 
@@ -122,7 +138,15 @@ std::string common_options_help(const CommonFlagSet& set) {
       "  --timeline-interval N   timeline sample period in cycles (default 1000)\n"
       "  --manifest FILE   write run telemetry JSON: wall clock per cell,\n"
       "                    sims/sec, pool utilization, cache counters,\n"
-      "                    host + config fingerprints\n";
+      "                    host + config fingerprints\n"
+      "  --prof FILE       write a host-phase profile JSON: where the wall\n"
+      "                    clock goes inside simulation (scheduler scan, issue,\n"
+      "                    memory system, ... — docs/perf-tracking.md); never\n"
+      "                    changes sim stats\n"
+      "  --prof-folded FILE  write folded-stack lines for flamegraph tools\n"
+      "                    (flamegraph.pl, speedscope)\n"
+      "  --progress        print a completion ticker to stderr as sweep\n"
+      "                    points finish\n";
   return out;
 }
 

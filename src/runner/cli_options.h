@@ -1,10 +1,11 @@
 // Shared CLI option surface for the sweep-running frontends (grs_cli,
 // grs_bench): one strict parser and one --help text source for the engine
 // options they have in common — --threads/--filter/--out/--json, the
-// result-cache family --cache/--cache-mode/--cache-stats, and the
-// observability family --trace/--timeline/--timeline-interval/--manifest —
-// so the scripts/check_docs.sh flag-drift check has a single origin and the
-// two binaries can never disagree on spelling, validation, or semantics.
+// result-cache family --cache/--cache-mode/--cache-stats, the
+// observability family --trace/--timeline/--timeline-interval/--manifest,
+// the host-profiling family --prof/--prof-folded, and --progress — so the
+// scripts/check_docs.sh flag-drift check has a single origin and the two
+// binaries can never disagree on spelling, validation, or semantics.
 //
 //   CommonOptions opts;
 //   for (each arg) {
@@ -59,10 +60,22 @@ struct CommonOptions {
   bool timeline_interval_set = false;
   std::string manifest_path;  ///< --manifest FILE
 
+  // Host-phase profiling (src/prof; docs/perf-tracking.md).
+  std::string prof_path;         ///< --prof FILE (JSON phase breakdown)
+  std::string prof_folded_path;  ///< --prof-folded FILE (flamegraph input)
+
+  bool progress = false;  ///< --progress (stderr completion ticker)
+
   /// True when this run collects trace events or timeline samples (which
   /// forces fresh simulation — see RunOptions).
   [[nodiscard]] bool obs_enabled() const {
     return !trace_path.empty() || !timeline_path.empty();
+  }
+
+  /// True when this run times host phases (per-point profilers, merged by
+  /// the engine; does NOT bypass the result cache).
+  [[nodiscard]] bool prof_enabled() const {
+    return !prof_path.empty() || !prof_folded_path.empty();
   }
 
   /// True when sweeps should consult the store.
@@ -76,8 +89,12 @@ struct CommonOptions {
   void finalize() const;
 
   /// Engine options carrying the threads + cache settings; `stats_out` (may
-  /// be null) receives accumulated cache counters across run_sweep calls.
-  [[nodiscard]] RunOptions run_options(cache::CacheStats* stats_out = nullptr) const;
+  /// be null) receives accumulated cache counters across run_sweep calls and
+  /// `prof_out` (may be null) the merged host-phase profile — pass the same
+  /// profiler to every run_options() call so one file covers the whole
+  /// invocation no matter how many sweeps it runs.
+  [[nodiscard]] RunOptions run_options(cache::CacheStats* stats_out = nullptr,
+                                       prof::HostProfiler* prof_out = nullptr) const;
 };
 
 /// Consume `arg` if it is one of the shared flags accepted by `set`; `next`

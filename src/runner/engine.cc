@@ -19,15 +19,21 @@ namespace {
 /// Resolve one point through the cache. Hits skip simulate() entirely (except
 /// under kVerify, whose whole point is to re-simulate); misses simulate and —
 /// in the writing modes — publish atomically.
-SimResult run_cached_point(cache::ResultCache& cache, const SweepPoint& p, bool* from_cache) {
+SimResult run_cached_point(cache::ResultCache& cache, const SweepPoint& p, bool* from_cache,
+                           prof::HostProfiler* prof) {
   const std::string key = cache::result_cache_key(p.config, p.kernel);
   std::string payload;
   SimResult cached;
-  if (cache.lookup(key, &payload, &cached)) {
+  bool hit;
+  {
+    prof::ScopedPhase prof_scope(prof, prof::Phase::kCacheLookup);
+    hit = cache.lookup(key, &payload, &cached);
+  }
+  if (hit) {
     if (cache.mode() == cache::CacheMode::kVerify) {
       // The fuzz oracle recast as an integrity check: a warm entry must be
       // byte-identical to a fresh simulation's encoding.
-      SimResult fresh = simulate(p.config, p.kernel);
+      SimResult fresh = simulate(p.config, p.kernel, nullptr, prof);
       if (encode_result(fresh) != payload) {
         cache.note_verify_failure();
         throw std::runtime_error("result cache verify FAILED: stored entry " +
@@ -45,8 +51,11 @@ SimResult run_cached_point(cache::ResultCache& cache, const SweepPoint& p, bool*
     *from_cache = true;
     return cached;
   }
-  SimResult fresh = simulate(p.config, p.kernel);
-  if (cache.mode() != cache::CacheMode::kRead) cache.store(key, fresh);
+  SimResult fresh = simulate(p.config, p.kernel, nullptr, prof);
+  if (cache.mode() != cache::CacheMode::kRead) {
+    prof::ScopedPhase prof_scope(prof, prof::Phase::kCacheStore);
+    cache.store(key, fresh);
+  }
   return fresh;
 }
 
@@ -93,21 +102,28 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec, const RunOptions& options
   };
   std::vector<ObsOutput> obs_out(observed ? n : 0);
 
+  // Per-point profilers keep the hot begin/end path lock-free under worker
+  // threads; merged below in point order so aggregates are thread-count
+  // independent (same trick as the buffered obs outputs).
+  std::vector<prof::HostProfiler> profs(options.prof != nullptr ? n : 0);
+
   // `done` is only mutated under the mutex so the callback sees a
   // monotonically increasing count.
   std::mutex progress_mu;
   std::size_t done = 0;
   auto run_point = [&](std::size_t i) {
     const WallTimer cell_timer;
+    prof::HostProfiler* const prof = profs.empty() ? nullptr : &profs[i];
     rows[i].point = spec.points[i];
     if (observed) {
       obs::SimObserver observer(obs_opts);
-      rows[i].result = simulate(spec.points[i].config, spec.points[i].kernel, &observer);
+      rows[i].result = simulate(spec.points[i].config, spec.points[i].kernel, &observer, prof);
       if (obs_opts.trace) obs_out[i].trace = observer.trace_json();
       if (obs_opts.timeline_interval != 0) obs_out[i].timeline = observer.timeline_csv();
     } else {
-      rows[i].result = cache ? run_cached_point(*cache, spec.points[i], &rows[i].from_cache)
-                             : simulate(spec.points[i].config, spec.points[i].kernel);
+      rows[i].result =
+          cache ? run_cached_point(*cache, spec.points[i], &rows[i].from_cache, prof)
+                : simulate(spec.points[i].config, spec.points[i].kernel, nullptr, prof);
     }
     rows[i].wall_ms = cell_timer.seconds() * 1000.0;
     if (options.progress) {
@@ -132,6 +148,8 @@ std::vector<SweepRow> run_sweep(const SweepSpec& spec, const RunOptions& options
     if (!options.timeline_path.empty())
       write_text_file(obs_point_path(options.timeline_path, i, n), obs_out[i].timeline);
   }
+
+  for (const auto& p : profs) options.prof->merge(p);
 
   if (cache && options.cache_stats != nullptr) *options.cache_stats += cache->stats();
   return rows;

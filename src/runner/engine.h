@@ -14,6 +14,7 @@
 #include "cache/result_cache.h"
 #include "common/types.h"
 #include "gpu/simulator.h"
+#include "prof/prof.h"
 #include "runner/sweep.h"
 
 namespace grs::runner {
@@ -61,6 +62,15 @@ struct RunOptions {
   std::string trace_path;       ///< Chrome-trace JSON per point
   std::string timeline_path;    ///< per-SM counter timeline CSV per point
   Cycle timeline_interval = 1000;  ///< sample period (cycles) when timeline_path is set
+
+  /// Host-phase profiling (src/prof). When non-null, every point is simulated
+  /// under its own per-point HostProfiler (cache lookup/store phases
+  /// included), and the per-point profilers are merged into *prof after the
+  /// sweep in point order — aggregates are identical for any --threads.
+  /// Unlike observability, profiling does NOT bypass the result cache: a
+  /// cache hit simply contributes cache_lookup time and no simulate phases.
+  /// Sim stats stay bit-identical with profiling on (tests/test_prof.cc).
+  prof::HostProfiler* prof = nullptr;
 };
 
 /// Run every point of `spec`. Returns one row per point, in spec order.

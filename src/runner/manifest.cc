@@ -6,9 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
-#ifdef __unix__
-#include <unistd.h>
-#endif
+#include "common/buildinfo.h"
 
 namespace grs::runner {
 
@@ -35,14 +33,6 @@ void put(std::string& out, const char* key, double value) {
   char tmp[64];
   std::snprintf(tmp, sizeof tmp, "\"%s\":%.6f", key, value);
   out += tmp;
-}
-
-std::string host_name() {
-#ifdef __unix__
-  char buf[256] = {};
-  if (gethostname(buf, sizeof buf - 1) == 0) return buf;
-#endif
-  return "unknown";
 }
 
 }  // namespace
@@ -84,16 +74,20 @@ std::string RunManifest::to_json() const {
   put(out, "schema", std::string("grs-run-manifest-v1"));
   out += ',';
   put(out, "tool", tool_);
+  const BuildInfo& build = build_info();
   out += ",\"host\":{";
-  put(out, "hostname", host_name());
+  put(out, "hostname", build.hostname);
   out += ',';
   put(out, "hardware_threads", static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   out += ',';
-#ifdef __VERSION__
-  put(out, "compiler", std::string(__VERSION__));
-#else
-  put(out, "compiler", std::string("unknown"));
-#endif
+  put(out, "compiler", build.compiler);
+  out += ',';
+  // Attribution (ISSUE 9): which commit/build produced these numbers.
+  put(out, "git_commit", build.git_commit);
+  out += ",\"git_dirty\":";
+  out += build.git_dirty ? "true" : "false";
+  out += ',';
+  put(out, "build_type", build.build_type);
   out += "}";
   if (has_cache_) {
     out += ",\"cache\":{";

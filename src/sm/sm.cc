@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/obs.h"
+#include "prof/prof.h"
 
 namespace grs {
 
@@ -14,7 +15,8 @@ StreamingMultiprocessor::StreamingMultiprocessor(SmId id, const GpuConfig& cfg,
                                                  std::uint32_t active_lanes,
                                                  MemorySystem& memsys,
                                                  const DynThrottle* dyn,
-                                                 obs::SimObserver* obs)
+                                                 obs::SimObserver* obs,
+                                                 prof::HostProfiler* prof)
     : id_(id),
       cfg_(cfg),
       program_(&program),
@@ -40,6 +42,7 @@ StreamingMultiprocessor::StreamingMultiprocessor(SmId id, const GpuConfig& cfg,
   cands_.reserve(warps_.size());
   txns_.reserve(32);
   if (obs != nullptr && obs->trace_enabled()) trace_ = obs;
+  prof_ = prof;
 }
 
 int StreamingMultiprocessor::pair_owner_side(std::uint32_t pair_id) const {
@@ -159,8 +162,11 @@ void StreamingMultiprocessor::acquire_with_ownership(PairState& p, int side, boo
 
 bool StreamingMultiprocessor::step(Cycle now) {
   now_ = now;
-  drain_events(now);
-  l1_.drain(now);
+  {
+    prof::ScopedPhase prof_scope(prof_, prof::Phase::kExecute);
+    drain_events(now);
+    l1_.drain(now);
+  }
   lsu_port_ = 0;
   sfu_port_ = 0;
   if (cfg_.exec_mode == ExecMode::kEvent) {
@@ -170,7 +176,10 @@ bool StreamingMultiprocessor::step(Cycle now) {
   scan_gate_passed_ = false;
   dyn_blocked_uids_.clear();
   bool issued = false;
-  for (std::uint32_t s = 0; s < schedulers_.size(); ++s) issued |= run_scheduler(s, now);
+  {
+    prof::ScopedPhase prof_scope(prof_, prof::Phase::kSchedulerScan);
+    for (std::uint32_t s = 0; s < schedulers_.size(); ++s) issued |= run_scheduler(s, now);
+  }
   return issued;
 }
 
@@ -181,7 +190,10 @@ Cycle StreamingMultiprocessor::next_wakeup() const {
 
 bool StreamingMultiprocessor::tick(Cycle now) {
   if (now < idle_until_) return false;  // known idle; accounted on wake/flush
-  if (now > last_stepped_ + 1) repeat_idle_accounting(now - last_stepped_ - 1);
+  if (now > last_stepped_ + 1) {
+    prof::ScopedPhase prof_scope(prof_, prof::Phase::kEventSleep);
+    repeat_idle_accounting(now - last_stepped_ - 1);
+  }
   const bool issued = step(now);
   last_stepped_ = now;
   if (issued) {
@@ -199,6 +211,7 @@ bool StreamingMultiprocessor::tick(Cycle now) {
   // hash_combines per warp-cycle, far cheaper than a scan) and stop at the
   // first cycle any of them would be let through. Never sleep across a
   // monitoring boundary, where probabilities (and with them the scan) move.
+  prof::ScopedPhase prof_scope(prof_, prof::Phase::kEventSleep);
   Cycle w = next_wakeup();
   if (dyn_ != nullptr && dyn_->enabled()) {
     if (scan_gate_passed_ || now % dyn_->period() == 0) {
@@ -348,6 +361,7 @@ bool StreamingMultiprocessor::run_scheduler(std::uint32_t sched_id, Cycle now) {
     return false;
   }
 
+  prof::ScopedPhase prof_scope(prof_, prof::Phase::kIssue);
   const std::size_t pick = schedulers_[sched_id].select(cands_);
   const std::uint32_t picked_slot = cands_[pick].slot;
   Warp& w = warps_[picked_slot];

@@ -38,6 +38,9 @@ namespace grs {
 namespace obs {
 class SimObserver;
 }
+namespace prof {
+class HostProfiler;
+}
 
 class StreamingMultiprocessor {
  public:
@@ -47,11 +50,14 @@ class StreamingMultiprocessor {
 
   /// `obs` (optional) receives event-trace hooks; it is consulted once here
   /// and ignored thereafter unless tracing is enabled, so the default-null
-  /// case costs one untaken branch per hook site (src/obs/obs.h).
+  /// case costs one untaken branch per hook site (src/obs/obs.h). `prof`
+  /// (optional) receives host-phase timings under the same null-guarded
+  /// contract (src/prof/prof.h).
   StreamingMultiprocessor(SmId id, const GpuConfig& cfg, const Program& program,
                           const KernelResources& res, const Occupancy& occ,
                           std::uint32_t active_lanes, MemorySystem& memsys,
-                          const DynThrottle* dyn, obs::SimObserver* obs = nullptr);
+                          const DynThrottle* dyn, obs::SimObserver* obs = nullptr,
+                          prof::HostProfiler* prof = nullptr);
 
   void set_block_finish_callback(BlockFinishFn fn) { on_block_finish_ = std::move(fn); }
 
@@ -209,6 +215,7 @@ class StreamingMultiprocessor {
   Cycle last_stepped_ = 0;              ///< last cycle step() actually ran
   BlockFinishFn on_block_finish_;
   obs::SimObserver* trace_ = nullptr;   ///< null unless event tracing is on
+  prof::HostProfiler* prof_ = nullptr;  ///< null unless --prof/--prof-folded
   /// Cycle currently being stepped; lets dispatcher-driven launch_block()
   /// (called from inside finish_block) stamp trace events. 0 = initial fill.
   Cycle now_ = 0;

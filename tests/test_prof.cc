@@ -1,0 +1,351 @@
+// Host-phase profiler contracts (src/prof, docs/perf-tracking.md):
+//  * zero feedback — sim stats are bit-identical with profiling on, in both
+//    exec modes, through the engine, and through the result cache;
+//  * exactness — with an injected fake clock, total/self/wall and the folded
+//    stacks are exact, and merge() is additive;
+//  * shape — grs-prof-v1 JSON and folded lines parse as documented, phase
+//    self times sum to the profiled wall clock;
+//  * perf records — grs-perf-record-v1 carries the documented keys and
+//    scripts/perf_check.py passes a record against itself and fails a
+//    synthetically regressed copy.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "gpu/result_codec.h"
+#include "gpu/simulator.h"
+#include "prof/perf_record.h"
+#include "prof/prof.h"
+#include "runner/engine.h"
+#include "runner/manifest.h"
+#include "workloads/suites.h"
+
+namespace grs {
+namespace {
+
+KernelInfo shrink(KernelInfo k, std::uint32_t blocks) {
+  k.grid_blocks = blocks;
+  return k;
+}
+
+// Injectable deterministic clock (prof::HostProfiler::ClockFn is a plain
+// function pointer, so the knob is a file-static).
+double g_fake_now = 0.0;
+double fake_clock() { return g_fake_now; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+TEST(ProfPhases, NamesAreStable) {
+  // These spellings are schema: they appear in committed baselines and in
+  // every saved profile/flamegraph. Renaming one is a format break.
+  EXPECT_STREQ(to_string(prof::Phase::kSimulate), "simulate");
+  EXPECT_STREQ(to_string(prof::Phase::kExecute), "execute_writeback");
+  EXPECT_STREQ(to_string(prof::Phase::kSchedulerScan), "scheduler_scan");
+  EXPECT_STREQ(to_string(prof::Phase::kIssue), "issue");
+  EXPECT_STREQ(to_string(prof::Phase::kMemsys), "memsys_l2");
+  EXPECT_STREQ(to_string(prof::Phase::kDram), "dram");
+  EXPECT_STREQ(to_string(prof::Phase::kEventSleep), "event_sleep");
+  EXPECT_STREQ(to_string(prof::Phase::kTimeline), "timeline_sample");
+  EXPECT_STREQ(to_string(prof::Phase::kCacheLookup), "cache_lookup");
+  EXPECT_STREQ(to_string(prof::Phase::kCacheStore), "cache_store");
+}
+
+TEST(ProfScope, NullProfilerIsANoop) {
+  prof::ScopedPhase outer(nullptr, prof::Phase::kSimulate);
+  prof::ScopedPhase inner(nullptr, prof::Phase::kIssue);
+  // Nothing to assert beyond "does not crash": the hook sites run this path
+  // on every default (prof-off) simulation.
+  SUCCEED();
+}
+
+TEST(ProfTiming, FakeClockNestingIsExact) {
+  prof::HostProfiler p(&fake_clock);
+  g_fake_now = 0.0;
+  p.begin(prof::Phase::kSimulate);
+  g_fake_now = 1.0;
+  p.begin(prof::Phase::kSchedulerScan);
+  g_fake_now = 3.0;
+  p.begin(prof::Phase::kIssue);
+  g_fake_now = 6.0;
+  p.end(prof::Phase::kIssue);
+  g_fake_now = 10.0;
+  p.end(prof::Phase::kSchedulerScan);
+  g_fake_now = 15.0;
+  p.end(prof::Phase::kSimulate);
+
+  EXPECT_DOUBLE_EQ(p.wall_seconds(), 15.0);
+  EXPECT_EQ(p.calls(prof::Phase::kSimulate), 1u);
+  EXPECT_DOUBLE_EQ(p.total_seconds(prof::Phase::kSimulate), 15.0);
+  EXPECT_DOUBLE_EQ(p.self_seconds(prof::Phase::kSimulate), 6.0);  // 15 - nested 9
+  EXPECT_DOUBLE_EQ(p.total_seconds(prof::Phase::kSchedulerScan), 9.0);
+  EXPECT_DOUBLE_EQ(p.self_seconds(prof::Phase::kSchedulerScan), 6.0);  // 9 - nested 3
+  EXPECT_DOUBLE_EQ(p.total_seconds(prof::Phase::kIssue), 3.0);
+  EXPECT_DOUBLE_EQ(p.self_seconds(prof::Phase::kIssue), 3.0);
+
+  // Folded output: root-first stacks, self time in integer microseconds,
+  // deterministic (path-sorted) order.
+  EXPECT_EQ(p.folded(),
+            "simulate 6000000\n"
+            "simulate;scheduler_scan 6000000\n"
+            "simulate;scheduler_scan;issue 3000000\n");
+
+  const std::string json = p.json();
+  EXPECT_NE(json.find("\"schema\":\"grs-prof-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\":15.000000000"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"issue\""), std::string::npos);
+}
+
+TEST(ProfTiming, MergeIsAdditive) {
+  prof::HostProfiler a(&fake_clock), b(&fake_clock);
+  g_fake_now = 0.0;
+  a.begin(prof::Phase::kSimulate);
+  g_fake_now = 2.0;
+  a.end(prof::Phase::kSimulate);
+  g_fake_now = 0.0;
+  b.begin(prof::Phase::kSimulate);
+  g_fake_now = 3.0;
+  b.end(prof::Phase::kSimulate);
+
+  a.merge(b);
+  EXPECT_EQ(a.calls(prof::Phase::kSimulate), 2u);
+  EXPECT_DOUBLE_EQ(a.total_seconds(prof::Phase::kSimulate), 5.0);
+  EXPECT_DOUBLE_EQ(a.wall_seconds(), 5.0);
+  EXPECT_EQ(a.folded(), "simulate 5000000\n");
+}
+
+TEST(ProfZeroFeedback, StatsBitIdenticalBothExecModes) {
+  const KernelInfo kernel = shrink(workloads::hotspot(), 4);
+  for (const ExecMode mode : {ExecMode::kCycle, ExecMode::kEvent}) {
+    GpuConfig cfg = configs::shared_owf_unroll_dyn(Resource::kRegisters, 0.1);
+    cfg.exec_mode = mode;
+    const SimResult plain = simulate(cfg, kernel);
+    prof::HostProfiler p;
+    const SimResult profiled = simulate(cfg, kernel, nullptr, &p);
+    EXPECT_EQ(encode_result(plain), encode_result(profiled))
+        << "profiling changed sim results in mode " << static_cast<int>(mode);
+    EXPECT_GT(p.calls(prof::Phase::kSimulate), 0u);
+    EXPECT_GT(p.calls(prof::Phase::kSchedulerScan), 0u);
+  }
+}
+
+TEST(ProfZeroFeedback, PhaseTimesSumToWall) {
+  const KernelInfo kernel = shrink(workloads::hotspot(), 4);
+  prof::HostProfiler p;
+  (void)simulate(configs::unshared(), kernel, nullptr, &p);
+
+  double self_sum = 0.0;
+  for (std::size_t i = 0; i < prof::kNumPhases; ++i) {
+    const auto ph = static_cast<prof::Phase>(i);
+    EXPECT_GE(p.total_seconds(ph), p.self_seconds(ph));
+    EXPECT_LE(p.total_seconds(ph), p.wall_seconds() + 1e-9);
+    self_sum += p.self_seconds(ph);
+  }
+  // Exclusive times tile the profiled wall exactly (FP rounding aside).
+  EXPECT_NEAR(self_sum, p.wall_seconds(), 1e-6);
+  EXPECT_DOUBLE_EQ(p.total_seconds(prof::Phase::kSimulate), p.wall_seconds());
+}
+
+TEST(ProfZeroFeedback, FoldedStacksHaveDocumentedShape) {
+  const KernelInfo kernel = shrink(workloads::hotspot(), 4);
+  prof::HostProfiler p;
+  (void)simulate(configs::unshared(), kernel, nullptr, &p);
+
+  std::istringstream lines(p.folded());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    const std::size_t space = line.find_last_of(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string stack = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_EQ(stack.rfind("simulate", 0), 0u) << "stack not rooted at simulate: " << line;
+    for (const char c : stack)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_' || c == ';' || (c >= '0' && c <= '9'))
+          << line;
+    EXPECT_FALSE(value.empty());
+    for (const char c : value) EXPECT_TRUE(c >= '0' && c <= '9') << line;
+  }
+  EXPECT_GE(n, 2u);  // at least simulate + one nested phase
+}
+
+TEST(ProfEngine, SweepRowsIdenticalAndProfilersMerged) {
+  runner::SweepSpec spec;
+  const KernelInfo kernel = shrink(workloads::hotspot(), 4);
+  GpuConfig cycle = configs::unshared();
+  cycle.exec_mode = ExecMode::kCycle;
+  GpuConfig event = configs::unshared();
+  event.exec_mode = ExecMode::kEvent;
+  spec.add("cycle", cycle, kernel);
+  spec.add("event", event, kernel);
+
+  const std::vector<runner::SweepRow> plain = runner::run_sweep(spec);
+  prof::HostProfiler merged;
+  runner::RunOptions options;
+  options.prof = &merged;
+  const std::vector<runner::SweepRow> profiled = runner::run_sweep(spec, options);
+
+  ASSERT_EQ(plain.size(), profiled.size());
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    EXPECT_EQ(encode_result(plain[i].result), encode_result(profiled[i].result)) << i;
+  // Two points merged post-run, in point order.
+  EXPECT_EQ(merged.calls(prof::Phase::kSimulate), 2u);
+  // The event point slept through idle windows; its bookkeeping was timed.
+  EXPECT_GT(merged.calls(prof::Phase::kEventSleep), 0u);
+}
+
+TEST(ProfEngine, CacheLookupAndStorePhasesAreTimed) {
+  const std::string dir =
+      (std::filesystem::path(testing::TempDir()) / "grs_prof_cache").string();
+  std::filesystem::remove_all(dir);
+
+  runner::SweepSpec spec;
+  spec.add("pt", configs::unshared(), shrink(workloads::hotspot(), 4));
+
+  runner::RunOptions options;
+  options.cache_dir = dir;
+  options.cache_mode = cache::CacheMode::kReadWrite;
+
+  prof::HostProfiler cold;
+  options.prof = &cold;
+  const auto cold_rows = runner::run_sweep(spec, options);
+  EXPECT_EQ(cold.calls(prof::Phase::kCacheLookup), 1u);
+  EXPECT_EQ(cold.calls(prof::Phase::kCacheStore), 1u);
+  EXPECT_EQ(cold.calls(prof::Phase::kSimulate), 1u);
+
+  prof::HostProfiler warm;
+  options.prof = &warm;
+  const auto warm_rows = runner::run_sweep(spec, options);
+  EXPECT_EQ(warm.calls(prof::Phase::kCacheLookup), 1u);
+  EXPECT_EQ(warm.calls(prof::Phase::kCacheStore), 0u);  // hit: nothing stored
+  EXPECT_EQ(warm.calls(prof::Phase::kSimulate), 0u);    // hit: nothing simulated
+  EXPECT_TRUE(warm_rows[0].from_cache);
+  EXPECT_EQ(encode_result(cold_rows[0].result), encode_result(warm_rows[0].result));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProfOutputs, WriteCreatesExactlyTheRequestedFiles) {
+  prof::HostProfiler p(&fake_clock);
+  g_fake_now = 0.0;
+  p.begin(prof::Phase::kSimulate);
+  g_fake_now = 1.0;
+  p.end(prof::Phase::kSimulate);
+
+  const std::filesystem::path dir = testing::TempDir();
+  const std::string json_path = (dir / "prof_out.json").string();
+  const std::string folded_path = (dir / "prof_out.folded").string();
+  std::filesystem::remove(json_path);
+  std::filesystem::remove(folded_path);
+
+  // Empty paths mean "off": no file appears (the CLIs' prof-off default).
+  prof::write_prof_outputs(p, "", "");
+  EXPECT_FALSE(std::filesystem::exists(json_path));
+  EXPECT_FALSE(std::filesystem::exists(folded_path));
+
+  prof::write_prof_outputs(p, json_path, folded_path);
+  EXPECT_EQ(slurp(json_path), p.json());
+  EXPECT_EQ(slurp(folded_path), p.folded());
+  std::filesystem::remove(json_path);
+  std::filesystem::remove(folded_path);
+}
+
+std::vector<prof::PerfSuitePoint> tiny_suite() {
+  prof::PerfSuitePoint pt;
+  pt.name = "tiny:hotspot";
+  pt.spec.add("unshared", configs::unshared(), shrink(workloads::hotspot(), 2));
+  std::vector<prof::PerfSuitePoint> suite;
+  suite.push_back(std::move(pt));
+  return suite;
+}
+
+TEST(PerfRecord, CarriesDocumentedSchemaKeys) {
+  prof::PerfRecordOptions options;
+  options.reps = 2;
+  options.threads = 1;
+  options.verbose = false;
+  const std::string json = prof::record_perf(tiny_suite(), options);
+
+  for (const char* key :
+       {"\"schema\":\"grs-perf-record-v1\"", "\"host_fingerprint\":", "\"git_commit\":",
+        "\"git_dirty\":", "\"build_type\":", "\"points\":", "\"name\":\"tiny:hotspot\"",
+        "\"sweep_points\":1", "\"reps\":2", "\"wall_ms\":", "\"sims_per_sec\":",
+        "\"cycles\":", "\"phases\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // The profiled rep's breakdown names real phases.
+  EXPECT_NE(json.find("\"name\":\"simulate\""), std::string::npos);
+}
+
+TEST(PerfRecord, RejectsBadInputs) {
+  prof::PerfRecordOptions options;
+  options.verbose = false;
+  EXPECT_THROW((void)prof::record_perf({}, options), std::runtime_error);
+  options.reps = 0;
+  EXPECT_THROW((void)prof::record_perf(tiny_suite(), options), std::runtime_error);
+}
+
+bool python3_available() { return std::system("python3 -c '' >/dev/null 2>&1") == 0; }
+
+TEST(PerfCheck, PassesSelfAndFailsRegressedRecord) {
+  if (!python3_available()) GTEST_SKIP() << "python3 not on PATH";
+
+  prof::PerfRecordOptions options;
+  options.reps = 1;
+  options.threads = 1;
+  options.verbose = false;
+  const std::string json = prof::record_perf(tiny_suite(), options);
+
+  const std::filesystem::path dir = testing::TempDir();
+  const std::string rec = (dir / "perf_rec.json").string();
+  const std::string slow = (dir / "perf_slow.json").string();
+  {
+    std::ofstream f(rec, std::ios::binary | std::ios::trunc);
+    f << json;
+  }
+  const std::string checker = std::string(GRS_SOURCE_DIR) + "/scripts/perf_check.py";
+
+  // Identical record vs itself must pass, even under --strict.
+  const std::string pass_cmd =
+      "python3 '" + checker + "' '" + rec + "' '" + rec + "' --strict >/dev/null 2>&1";
+  EXPECT_EQ(std::system(pass_cmd.c_str()), 0);
+
+  // A 20% wall_ms regression must fail under the tight CI tolerances.
+  const std::string slow_cmd =
+      "python3 -c \"import json,sys; d=json.load(open(sys.argv[1]));\n"
+      "[p.update(wall_ms=p['wall_ms']*1.2) for p in d['points']];\n"
+      "json.dump(d, open(sys.argv[2],'w'))\" '" +
+      rec + "' '" + slow + "'";
+  ASSERT_EQ(std::system(slow_cmd.c_str()), 0);
+  const std::string fail_cmd = "python3 '" + checker + "' '" + slow + "' '" + rec +
+                               "' --strict --rel-tol 0.1 --abs-tol-ms 0 >/dev/null 2>&1";
+  EXPECT_NE(std::system(fail_cmd.c_str()), 0);
+
+  std::filesystem::remove(rec);
+  std::filesystem::remove(slow);
+}
+
+TEST(Manifest, HostSectionCarriesBuildAttribution) {
+  runner::RunManifest manifest("test");
+  const std::string json = manifest.to_json();
+  EXPECT_NE(json.find("\"git_commit\":"), std::string::npos);
+  EXPECT_NE(json.find("\"git_dirty\":"), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\":"), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grs
